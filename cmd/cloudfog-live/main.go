@@ -1,0 +1,161 @@
+// Command cloudfog-live runs an actual CloudFog deployment on this machine:
+// a cloud server owning the authoritative game world, fog supernodes keeping
+// replicas via the update stream, and player clients issuing actions and
+// receiving rendered video segments — all over real TCP connections with
+// wide-area delays injected per link from the synthetic latency trace.
+//
+// It prints each player's measured end-to-end response latency (action →
+// first segment reflecting it) against its game's requirement, plus the
+// update-vs-video bandwidth ledger that motivates the whole design.
+//
+// Usage:
+//
+//	cloudfog-live
+//	cloudfog-live -players 8 -supernodes 2 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/geo"
+	"cloudfog/internal/live"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/trace"
+	"cloudfog/internal/world"
+)
+
+var (
+	playersFlag    = flag.Int("players", 6, "number of live player clients")
+	supernodesFlag = flag.Int("supernodes", 4, "number of live supernodes")
+	durationFlag   = flag.Duration("duration", 4*time.Second, "session length")
+	seedFlag       = flag.Int64("seed", 7, "latency landscape seed")
+	fpsFlag        = flag.Int("fps", 30, "video frame rate")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfog-live:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := trace.DefaultModel(*seedFlag)
+	placer := geo.DefaultUSPlacer()
+	rng := sim.NewRand(*seedFlag + 1)
+
+	// Endpoints: one datacenter, the supernodes, the players.
+	dcEP := trace.Endpoint{ID: 2_000_000, Pos: geo.USRegion().Center(), Class: trace.ClassDatacenter}
+	snEPs := make([]trace.Endpoint, *supernodesFlag)
+	for i := range snEPs {
+		snEPs[i] = trace.Endpoint{ID: trace.NodeID(1_000_000 + i), Pos: placer.Place(rng), Class: trace.ClassSupernode}
+	}
+	playerEPs := make([]trace.Endpoint, *playersFlag)
+	for i := range playerEPs {
+		playerEPs[i] = trace.Endpoint{ID: trace.NodeID(i + 1), Pos: placer.Place(rng), Class: trace.ClassNode}
+	}
+
+	cloud, err := live.StartCloud("127.0.0.1:0", world.DefaultConfig(), time.Second/time.Duration(*fpsFlag))
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	cloud.DelayFor = func(snID int64) time.Duration {
+		for _, ep := range snEPs {
+			if int64(ep.ID) == snID {
+				return model.OneWay(dcEP, ep)
+			}
+		}
+		return 0
+	}
+	cloud.World(func(w *world.World) {
+		for i := 0; i < 40; i++ {
+			w.SpawnObject(world.Vec2{X: float64(i * 250 % 10000), Y: float64(i * 777 % 10000)})
+		}
+	})
+	fmt.Printf("cloud on %s (tick %v)\n", cloud.Addr(), time.Second/time.Duration(*fpsFlag))
+
+	sns := make([]*live.Supernode, len(snEPs))
+	for i, ep := range snEPs {
+		sn, err := live.StartSupernode(int64(ep.ID), cloud.Addr(), "127.0.0.1:0",
+			model.OneWay(ep, dcEP), *fpsFlag)
+		if err != nil {
+			return err
+		}
+		defer sn.Close()
+		ep := ep
+		sn.DelayFor = func(playerID int64) time.Duration {
+			for _, pe := range playerEPs {
+				if int64(pe.ID) == playerID {
+					return model.OneWay(ep, pe)
+				}
+			}
+			return 0
+		}
+		sns[i] = sn
+		fmt.Printf("supernode %d on %s (update hop %v)\n",
+			ep.ID, sn.Addr(), model.OneWay(ep, dcEP).Round(time.Millisecond))
+	}
+
+	fmt.Printf("\nrunning %d players for %v...\n\n", *playersFlag, *durationFlag)
+	var wg sync.WaitGroup
+	reports := make([]live.PlayerReport, *playersFlag)
+	errs := make([]error, *playersFlag)
+	gameIDs := make([]int, *playersFlag)
+	for i := 0; i < *playersFlag; i++ {
+		// Each player streams from the supernode with the lowest total
+		// serving-path latency — the assignment protocol's choice.
+		best, bestLat := 0, time.Duration(1<<62-1)
+		for s, ep := range snEPs {
+			total := model.OneWay(playerEPs[i], ep) + model.OneWay(ep, dcEP)
+			if total < bestLat {
+				best, bestLat = s, total
+			}
+		}
+		gameIDs[i] = i%3 + 3 // games 3-5: budgets that a wide-area path can meet
+		wg.Add(1)
+		go func(i, snIdx int) {
+			defer wg.Done()
+			up := model.OneWay(playerEPs[i], dcEP)
+			reports[i], errs[i] = live.RunPlayer(live.PlayerConfig{
+				ID:              int64(playerEPs[i].ID),
+				GameID:          gameIDs[i],
+				CloudAddr:       cloud.Addr(),
+				StreamAddr:      sns[snIdx].Addr(),
+				ActionDelay:     up,
+				ActionEvery:     200 * time.Millisecond,
+				UploadAllowance: up,
+			}, *durationFlag)
+		}(i, best)
+	}
+	wg.Wait()
+
+	var videoBytes int64
+	for i, r := range reports {
+		if errs[i] != nil {
+			return fmt.Errorf("player %d: %w", i+1, errs[i])
+		}
+		g, _ := game.ByID(gameIDs[i])
+		videoBytes += r.Bytes
+		fmt.Printf("player %d (%-10s req %3dms): %3d segments, %6.1f KB video, response mean %v p95 %v, %3.0f%% within budget\n",
+			i+1, g.Name, g.ResponseRequirement().Milliseconds(),
+			r.Segments, float64(r.Bytes)/1000,
+			r.MeanResponse.Round(time.Millisecond), r.P95Response.Round(time.Millisecond),
+			r.WithinBudget*100)
+	}
+
+	var updBytes int64
+	for _, sn := range sns {
+		_, b := sn.UpdateTraffic()
+		updBytes += b
+	}
+	fmt.Printf("\nbandwidth ledger: cloud shipped %.1f KB of updates; supernodes shipped %.1f KB of video (%.1fx reduction)\n",
+		float64(updBytes)/1000, float64(videoBytes)/1000, float64(videoBytes)/float64(updBytes+1))
+	return nil
+}

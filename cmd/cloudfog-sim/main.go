@@ -1,0 +1,223 @@
+// Command cloudfog-sim regenerates the CloudFog paper's simulator figures
+// (5a, 5b, 7a, 8a, 9a, 10a, 11a) and prints each as a text table with the
+// same axes the paper plots.
+//
+// Usage:
+//
+//	cloudfog-sim -fig all
+//	cloudfog-sim -fig 5b -players 10000 -supernodes 600
+//	cloudfog-sim -fig 10a -horizon 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cloudfog/internal/experiment"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/trace"
+)
+
+var (
+	figFlag        = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 7a, 8a, 9a, 10a, 11a, or all")
+	seedFlag       = flag.Int64("seed", 2026, "experiment seed")
+	playersFlag    = flag.Int("players", 10000, "population size")
+	supernodesFlag = flag.Int("supernodes", 600, "supernodes selected from capable players")
+	dcsFlag        = flag.Int("datacenters", 5, "default number of main datacenters")
+	horizonFlag    = flag.Duration("horizon", 60*time.Second, "virtual time horizon for QoE figures")
+	csvFlag        = flag.Bool("csv", false, "emit comma-separated tables instead of aligned text")
+	traceOutFlag   = flag.String("save-trace", "", "write the latency model parameters to this file")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfog-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func reqs() []time.Duration {
+	return []time.Duration{
+		30 * time.Millisecond, 50 * time.Millisecond, 70 * time.Millisecond,
+		90 * time.Millisecond, 110 * time.Millisecond,
+	}
+}
+
+func run() error {
+	cfg := experiment.Default(*seedFlag)
+	cfg.Players = *playersFlag
+	cfg.Supernodes = *supernodesFlag
+	cfg.Datacenters = *dcsFlag
+
+	fmt.Printf("CloudFog simulator — %d players, %d supernodes, %d datacenters, seed %d\n\n",
+		cfg.Players, cfg.Supernodes, cfg.Datacenters, cfg.Seed)
+
+	if *traceOutFlag != "" {
+		f, err := os.Create(*traceOutFlag)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Core.Latency.(trace.Model).Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("latency model saved to %s\n\n", *traceOutFlag)
+	}
+
+	w, err := experiment.NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+
+	table := func(xLabel string, series []metrics.Series) string {
+		if *csvFlag {
+			return csvTable(xLabel, series)
+		}
+		return metrics.Table(xLabel, series)
+	}
+
+	want := func(fig string) bool { return *figFlag == "all" || *figFlag == fig }
+	ran := false
+
+	if want("5a") {
+		ran = true
+		series, err := experiment.CoverageVsDatacenters(w, []int{1, 5, 10, 15, 20, 25}, reqs())
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 5(a): user coverage vs number of datacenters (Cloud)")
+		fmt.Println(table("#datacenters", series))
+	}
+	if want("5b") {
+		ran = true
+		counts := []int{0, 100, 200, 300, 400, 500, 600}
+		trimmed := counts[:0]
+		for _, c := range counts {
+			if c <= cfg.Supernodes {
+				trimmed = append(trimmed, c)
+			}
+		}
+		series, err := experiment.CoverageVsSupernodes(w, trimmed, reqs())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 5(b): user coverage vs number of supernodes (%d datacenters)\n", cfg.Datacenters)
+		fmt.Println(table("#supernodes", series))
+	}
+	if want("7a") {
+		ran = true
+		counts := []int{1000, 2000, 4000, 6000, 8000, 10000}
+		trimmed := counts[:0]
+		for _, c := range counts {
+			if c <= cfg.Players {
+				trimmed = append(trimmed, c)
+			}
+		}
+		series, err := experiment.BandwidthVsPlayers(w, trimmed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 7(a): cloud bandwidth consumption (Mbit/s) vs number of players")
+		fmt.Println(table("#players", series))
+	}
+	if want("8a") {
+		ran = true
+		results, err := experiment.ResponseLatency(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 8(a): average response latency per player")
+		for _, r := range results {
+			fmt.Printf("  %-12s mean=%-8v median=%-8v p90=%v\n",
+				r.System, r.Mean.Round(time.Millisecond),
+				r.Median.Round(time.Millisecond), r.P90.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	if want("9a") {
+		ran = true
+		counts := []int{500, 1000, 2000, 3000}
+		trimmed := counts[:0]
+		for _, c := range counts {
+			if c <= cfg.Players {
+				trimmed = append(trimmed, c)
+			}
+		}
+		series, err := experiment.ContinuityVsPlayers(w, trimmed, *horizonFlag/3)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 9(a): average playback continuity vs concurrent players")
+		fmt.Println(table("#players", series))
+	}
+	if want("10a") {
+		ran = true
+		series, err := experiment.AdaptationEffect(w, []int{5, 10, 15, 20, 25, 30}, *horizonFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 10(a): satisfied players, with/without encoding rate adaptation")
+		fmt.Println(table("players/SN", series))
+	}
+	if want("11a") {
+		ran = true
+		series, err := experiment.SchedulingEffect(w, []int{5, 10, 15, 20, 25, 30}, *horizonFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 11(a): satisfied players, with/without deadline-driven scheduling")
+		fmt.Println(table("players/SN", series))
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want 5a, 5b, 7a, 8a, 9a, 10a, 11a, or all)", *figFlag)
+	}
+	return nil
+}
+
+// csvTable renders series as CSV: header then one row per x value.
+func csvTable(xLabel string, series []metrics.Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		b.WriteString("," + s.Label)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.6g", p.Y)
+					break
+				}
+			}
+			b.WriteString("," + cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

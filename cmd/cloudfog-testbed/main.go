@@ -1,0 +1,146 @@
+// Command cloudfog-testbed regenerates the CloudFog paper's PlanetLab
+// figures (6a, 6b, 7b, 8b) on the loopback-TCP testbed: every node is a
+// real TCP server, wide-area delays are injected per pair, and all
+// latencies entering the experiments are measured round trips.
+//
+// Default scale follows the paper's PlanetLab setup proportions: 750 nodes,
+// 300 of them supernode-capable, 2 main datacenters. Real probes sleep
+// their injected delays, so larger populations take longer to prewarm.
+//
+// Usage:
+//
+//	cloudfog-testbed
+//	cloudfog-testbed -players 200 -supernodes 80 -parallel 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudfog/internal/experiment"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/testbed"
+	"cloudfog/internal/trace"
+)
+
+var (
+	seedFlag       = flag.Int64("seed", 2026, "experiment seed")
+	playersFlag    = flag.Int("players", 750, "population size (PlanetLab run: 750)")
+	supernodesFlag = flag.Int("supernodes", 300, "supernodes selected from capable players (PlanetLab run: 300)")
+	dcsFlag        = flag.Int("datacenters", 2, "default number of main datacenters (PlanetLab run: 2)")
+	serversFlag    = flag.Int("servers", 8, "EdgeCloud servers (PlanetLab run: 8)")
+	parallelFlag   = flag.Int("parallel", 256, "concurrent prewarm probes")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfog-testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func reqs() []time.Duration {
+	return []time.Duration{
+		30 * time.Millisecond, 50 * time.Millisecond, 70 * time.Millisecond,
+		90 * time.Millisecond, 110 * time.Millisecond,
+	}
+}
+
+func run() error {
+	cfg := experiment.Default(*seedFlag)
+	cfg.Players = *playersFlag
+	cfg.Supernodes = *supernodesFlag
+	cfg.Datacenters = *dcsFlag
+	cfg.EdgeServers = *serversFlag
+	// The paper's PlanetLab population: 300 of 750 nodes could act as
+	// supernodes, a much higher capable fraction than the simulation's 10%.
+	cfg.Workload.SupernodeFraction = 0.45
+
+	w, err := experiment.NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+
+	model, ok := cfg.Core.Latency.(trace.Model)
+	if !ok {
+		return fmt.Errorf("testbed needs a trace.Model to inject delays from")
+	}
+	eps := w.Endpoints()
+	fmt.Printf("CloudFog testbed — starting %d loopback-TCP nodes (seed %d)\n", len(eps), cfg.Seed)
+	cluster, err := testbed.Start(model, eps)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	start := time.Now()
+	// Prewarm the full player-supernode matrix: the geolocated shortlist
+	// can pick any supernode, and a cache miss during assignment costs a
+	// serial wide-area probe.
+	pairs := w.ProbePairs(cfg.Supernodes)
+	fmt.Printf("prewarming %d pairs with %d parallel probes...\n", len(pairs), *parallelFlag)
+	cluster.Prewarm(pairs, *parallelFlag)
+	fmt.Printf("prewarmed in %v (%d probes)\n\n", time.Since(start).Round(time.Millisecond), cluster.Probes())
+	w.UseLatencySource(cluster)
+
+	dcSweep := []int{1, 2, 4, 6, 8}
+	series, err := experiment.CoverageVsDatacenters(w, dcSweep, reqs())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 6(a): user coverage vs number of datacenters (testbed)")
+	fmt.Println(metrics.Table("#datacenters", series))
+
+	snSweep := []int{0, cfg.Supernodes / 4, cfg.Supernodes / 2, cfg.Supernodes}
+	series, err = experiment.CoverageVsSupernodes(w, snSweep, reqs())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 6(b): user coverage vs number of supernodes (%d datacenters, testbed)\n", cfg.Datacenters)
+	fmt.Println(metrics.Table("#supernodes", series))
+
+	counts := []int{cfg.Players / 4, cfg.Players / 2, cfg.Players}
+	series, err = experiment.BandwidthVsPlayers(w, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 7(b): cloud bandwidth consumption (Mbit/s) vs players (testbed)")
+	fmt.Println(metrics.Table("#players", series))
+
+	results, err := experiment.ResponseLatency(w)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 8(b): average response latency per player (testbed)")
+	for _, r := range results {
+		fmt.Printf("  %-12s mean=%-8v median=%-8v p90=%v\n",
+			r.System, r.Mean.Round(time.Millisecond),
+			r.Median.Round(time.Millisecond), r.P90.Round(time.Millisecond))
+	}
+	series, err = experiment.ContinuityVsPlayers(w, []int{cfg.Players / 4, cfg.Players / 2, cfg.Players}, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9(b): average playback continuity vs concurrent players (testbed latencies)")
+	fmt.Println(metrics.Table("#players", series))
+
+	series, err = experiment.AdaptationEffect(w, []int{5, 15, 25, 30}, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 10(b): satisfied players, with/without rate adaptation (testbed latencies)")
+	fmt.Println(metrics.Table("players/SN", series))
+
+	series, err = experiment.SchedulingEffect(w, []int{5, 15, 25, 30}, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 11(b): satisfied players, with/without deadline scheduling (testbed latencies)")
+	fmt.Println(metrics.Table("players/SN", series))
+
+	fmt.Printf("total TCP probes: %d, model fallbacks: %d\n", cluster.Probes(), cluster.Fallbacks())
+	return nil
+}

@@ -1,0 +1,82 @@
+// Economics: exercise CloudFog's incentive and provisioning model (paper
+// §III-A, Eqs. 1-6). First the contributor's side: at what reward rate c_s
+// does contributing a machine become profitable? Then the provider's side:
+// which candidate supernodes should be deployed to support a target player
+// count at maximum saving, and when is one more supernode worth it (Eq. 6)?
+package main
+
+import (
+	"fmt"
+
+	"cloudfog/internal/econ"
+	"cloudfog/internal/sim"
+)
+
+func main() {
+	// Market constants: bandwidth in Mbit/s units. A player stream costs
+	// R = 1.3 units (1.2 Mbps video + overhead); cloud updates cost
+	// Λ = 0.05 units per supernode; a saved cloud unit is worth
+	// c_c = 1.0.
+	params := econ.Params{
+		RewardPerUnit:  0.25,
+		RevenuePerUnit: 1.0,
+		StreamRate:     1.3,
+		UpdateRate:     0.05,
+	}
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+
+	// A population of candidate supernodes with Pareto capacities and
+	// heterogeneous running costs.
+	rng := sim.NewRand(7)
+	candidates := make([]econ.Supernode, 40)
+	for i := range candidates {
+		capacity := rng.CapacityPareto() * 1.3 // uplink units: capacity slots × R
+		candidates[i] = econ.Supernode{
+			Capacity:     capacity,
+			Utilization:  0.6 + 0.4*rng.Float64(),
+			Cost:         0.5 + rng.Float64(),
+			CoverageGain: 1 + rng.Intn(8),
+		}
+	}
+
+	fmt.Println("== contributor incentives (Eq. 1) ==")
+	for _, cs := range []float64{0.05, 0.15, 0.25, 0.40} {
+		willing := 0
+		for _, c := range candidates {
+			if econ.WillContribute(cs, c, 0) {
+				willing++
+			}
+		}
+		fmt.Printf("  reward c_s=%.2f per unit: %2d/%d owners profit from contributing\n",
+			cs, willing, len(candidates))
+	}
+
+	fmt.Println("\n== provider planning (Eqs. 2-5) ==")
+	for _, target := range []int{20, 50, 80} {
+		plan, err := params.PlanDeployment(target, candidates)
+		if err != nil {
+			fmt.Printf("  target %3d players: %v\n", target, err)
+			continue
+		}
+		fmt.Printf("  target %3d players: deploy %2d supernodes, support %3d, saving C_g=%.1f units\n",
+			target, len(plan.Chosen), plan.Supported, plan.Saving)
+	}
+
+	fmt.Println("\n== marginal deployment decisions (Eq. 6) ==")
+	for _, c := range candidates[:6] {
+		gain := params.MarginalGain(c)
+		verdict := "skip"
+		if params.WorthDeploying(c) {
+			verdict = "deploy"
+		}
+		fmt.Printf("  candidate: capacity %4.1f units, covers %d new players -> G_s=%+6.2f  %s\n",
+			c.Capacity, c.CoverageGain, gain, verdict)
+	}
+
+	fmt.Println("\n== bandwidth ledger (Eq. 2) ==")
+	n, m := 60, 12
+	fmt.Printf("  serving %d players via %d supernodes saves B_r = %.1f units of cloud egress\n",
+		n, m, params.BandwidthReduction(n, m))
+}

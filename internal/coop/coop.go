@@ -1,0 +1,113 @@
+// Package coop implements the CloudFog paper's first future-work item
+// (§V): "the cooperation among supernodes in rendering and transmitting
+// game videos to further reduce response latency."
+//
+// Churn scatters players: when a supernode departs, its players fail over
+// to backups (second-best homes), and nothing moves them back when better
+// capacity returns. Cooperating supernodes periodically run a rebalancing
+// pass — each player is offered to a strictly better qualified supernode,
+// and hotspots above a target utilization shed players first. Moves only
+// commit when they strictly reduce the player's total serving-path latency,
+// so a pass never degrades anyone.
+package coop
+
+import (
+	"sort"
+	"time"
+
+	"cloudfog/internal/core"
+)
+
+// Config parameterizes the cooperation pass.
+type Config struct {
+	// HotUtilization marks a supernode as a hotspot when its load
+	// exceeds this fraction of capacity; hotspot players are offered
+	// first and hotspots are avoided as targets. Default 0.85.
+	HotUtilization float64
+	// MaxMovesPerPass bounds the disruption of one pass (a stream
+	// migration costs a keyframe). 0 means unbounded.
+	MaxMovesPerPass int
+}
+
+// DefaultConfig returns the defaults: hotspots above 85% load, at most 64
+// migrations per pass.
+func DefaultConfig() Config {
+	return Config{HotUtilization: 0.85, MaxMovesPerPass: 64}
+}
+
+// Result summarizes one rebalancing pass.
+type Result struct {
+	// Considered is how many fog-served players were examined.
+	Considered int
+	// Moves is how many players migrated to a better supernode.
+	Moves int
+	// LatencySavedTotal sums the serving-path latency reduction across
+	// the moved players.
+	LatencySavedTotal time.Duration
+}
+
+// Rebalance runs one cooperation pass over the fog's supernodes. Players on
+// hotspots are offered first (largest current serving-path latency first),
+// then everyone else; each offer commits only if a strictly better
+// qualified supernode has a free slot.
+func Rebalance(fog *core.Fog, cfg Config) Result {
+	if cfg.HotUtilization <= 0 {
+		cfg.HotUtilization = 0.85
+	}
+	hot := func(sn *core.Supernode) bool {
+		return float64(sn.Load()) > cfg.HotUtilization*float64(sn.Capacity)
+	}
+
+	type offer struct {
+		p     *core.Player
+		total time.Duration
+		onHot bool
+	}
+	var offers []offer
+	for _, sn := range fog.Supernodes() {
+		isHot := hot(sn)
+		for _, pid := range sn.Players() {
+			p := playerOf(sn, pid)
+			if p == nil {
+				continue
+			}
+			offers = append(offers, offer{
+				p:     p,
+				total: p.Attached.StreamLatency + p.Attached.UpdateLatency,
+				onHot: isHot,
+			})
+		}
+	}
+	// Hotspot players first, then by how much they currently suffer.
+	sort.SliceStable(offers, func(i, j int) bool {
+		if offers[i].onHot != offers[j].onHot {
+			return offers[i].onHot
+		}
+		return offers[i].total > offers[j].total
+	})
+
+	res := Result{Considered: len(offers)}
+	for _, o := range offers {
+		if cfg.MaxMovesPerPass > 0 && res.Moves >= cfg.MaxMovesPerPass {
+			break
+		}
+		before := o.p.Attached.StreamLatency + o.p.Attached.UpdateLatency
+		if fog.TryReassign(o.p, hot) {
+			after := o.p.Attached.StreamLatency + o.p.Attached.UpdateLatency
+			res.Moves++
+			res.LatencySavedTotal += before - after
+		}
+	}
+	return res
+}
+
+// playerOf resolves a player pointer through the supernode's attachment
+// (the fog does not expose a player directory; the supernode's member list
+// and the player's back-pointer are authoritative).
+func playerOf(sn *core.Supernode, pid int64) *core.Player {
+	// The supernode's player set stores the pointers; Players() only
+	// returns IDs to keep the core API small, so we reach the player via
+	// the attachment invariant checked in core's tests: every listed ID
+	// belongs to a player attached to this supernode.
+	return sn.Member(pid)
+}

@@ -1,0 +1,165 @@
+package coop
+
+import (
+	"testing"
+	"time"
+
+	"cloudfog/internal/core"
+	"cloudfog/internal/game"
+	"cloudfog/internal/geo"
+	"cloudfog/internal/sim"
+)
+
+// buildScatteredFog creates a fog, joins players, then takes a popular
+// supernode away and brings it back — leaving players scattered on
+// second-best homes, the situation cooperation repairs.
+func buildScatteredFog(t *testing.T) (*core.Fog, []*core.Player) {
+	t.Helper()
+	cfg := core.DefaultConfig(31)
+	cfg.Locator.ErrorSigma = 0
+	rng := sim.NewRand(32)
+	placer := geo.DefaultUSPlacer()
+
+	dcs := []*core.Datacenter{
+		core.NewDatacenter(2_000_000, cfg.Region.Center(), cfg.DCEgress),
+	}
+	sns := make([]*core.Supernode, 40)
+	for i := range sns {
+		sns[i] = core.NewSupernode(1_000_000+int64(i), placer.Place(rng), 6, 6*cfg.UplinkPerSlot)
+	}
+	fog, err := core.BuildFog(cfg, dcs, sns, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := game.ByID(5)
+	players := make([]*core.Player, 150)
+	for i := range players {
+		players[i] = &core.Player{ID: int64(i), Pos: placer.Place(rng), Game: g, Downlink: 20_000_000}
+		fog.Join(players[i])
+	}
+
+	// Scatter: the three most-loaded supernodes leave, players fail over;
+	// then the machines return empty.
+	for round := 0; round < 3; round++ {
+		var busiest *core.Supernode
+		for _, sn := range fog.Supernodes() {
+			if busiest == nil || sn.Load() > busiest.Load() {
+				busiest = sn
+			}
+		}
+		if busiest == nil || busiest.Load() == 0 {
+			break
+		}
+		spec := *busiest
+		fog.DeregisterSupernode(busiest.ID)
+		fresh := core.NewSupernode(spec.ID, spec.Pos, spec.Capacity, spec.Uplink)
+		if err := fog.RegisterSupernode(fresh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fog, players
+}
+
+func meanFogLatency(fog *core.Fog, players []*core.Player) time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, p := range players {
+		if p.Attached.Kind == core.AttachSupernode {
+			sum += p.Attached.StreamLatency + p.Attached.UpdateLatency
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+func TestRebalanceImprovesScatteredPlayers(t *testing.T) {
+	fog, players := buildScatteredFog(t)
+	before := meanFogLatency(fog, players)
+	res := Rebalance(fog, Config{HotUtilization: 0.85})
+	if res.Moves == 0 {
+		t.Fatal("no players moved despite scattered assignment")
+	}
+	if res.LatencySavedTotal <= 0 {
+		t.Fatalf("moves saved no latency: %+v", res)
+	}
+	after := meanFogLatency(fog, players)
+	if after >= before {
+		t.Fatalf("mean fog latency did not improve: %v -> %v", before, after)
+	}
+	// Invariants survive the migration.
+	for _, p := range players {
+		if p.Online && !p.Attached.Served() {
+			t.Fatal("player lost service during rebalance")
+		}
+		if p.Attached.Kind == core.AttachSupernode {
+			if p.Attached.SN.Member(p.ID) != p {
+				t.Fatal("membership inconsistent after move")
+			}
+		}
+	}
+	for _, sn := range fog.Supernodes() {
+		if sn.Load() > sn.Capacity {
+			t.Fatalf("supernode %d over capacity after rebalance", sn.ID)
+		}
+	}
+}
+
+func TestRebalanceIsIdempotentAtFixpoint(t *testing.T) {
+	fog, _ := buildScatteredFog(t)
+	// Run passes until quiescent, then one more must move nobody.
+	for i := 0; i < 10; i++ {
+		if Rebalance(fog, Config{}).Moves == 0 {
+			break
+		}
+	}
+	if res := Rebalance(fog, Config{}); res.Moves != 0 {
+		t.Fatalf("rebalance not quiescent: still %d moves", res.Moves)
+	}
+}
+
+func TestRebalanceRespectsMoveBudget(t *testing.T) {
+	fog, _ := buildScatteredFog(t)
+	res := Rebalance(fog, Config{MaxMovesPerPass: 2})
+	if res.Moves > 2 {
+		t.Fatalf("moved %d players, budget was 2", res.Moves)
+	}
+}
+
+func TestRebalanceNeverDegradesAnyone(t *testing.T) {
+	fog, players := buildScatteredFog(t)
+	before := make(map[int64]time.Duration)
+	for _, p := range players {
+		if p.Attached.Kind == core.AttachSupernode {
+			before[p.ID] = p.Attached.StreamLatency + p.Attached.UpdateLatency
+		}
+	}
+	Rebalance(fog, Config{})
+	for _, p := range players {
+		if p.Attached.Kind != core.AttachSupernode {
+			continue
+		}
+		b, had := before[p.ID]
+		if !had {
+			continue
+		}
+		after := p.Attached.StreamLatency + p.Attached.UpdateLatency
+		if after > b {
+			t.Fatalf("player %d got worse: %v -> %v", p.ID, b, after)
+		}
+	}
+}
+
+func TestRebalanceEmptyFog(t *testing.T) {
+	cfg := core.DefaultConfig(1)
+	dc := core.NewDatacenter(2_000_000, cfg.Region.Center(), cfg.DCEgress)
+	fog, err := core.BuildFog(cfg, []*core.Datacenter{dc}, nil, sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Rebalance(fog, Config{}); res.Considered != 0 || res.Moves != 0 {
+		t.Fatalf("empty fog produced work: %+v", res)
+	}
+}

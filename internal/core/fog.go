@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/sim"
+)
+
+// Fog is the CloudFog system: a cloud of datacenters plus a fog of
+// registered supernodes. It implements the System interface used by the
+// experiment harness.
+type Fog struct {
+	cfg Config
+	rng *sim.Rand
+
+	dcs     []*Datacenter
+	sns     map[int64]*Supernode
+	snOrder []*Supernode // registration order, for deterministic iteration
+
+	// snEstPos is the cloud's geolocated view of each supernode's
+	// position (paper §III-A3: coordinates determined from IP addresses).
+	snEstPos map[int64]struct{ x, y float64 }
+
+	players map[int64]*Player
+}
+
+// BuildFog constructs a Fog with the given datacenters and supernodes. The
+// rng drives geolocation error draws; pass a dedicated stream for
+// reproducibility.
+func BuildFog(cfg Config, dcs []*Datacenter, sns []*Supernode, rng *sim.Rand) (*Fog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dcs) == 0 {
+		return nil, fmt.Errorf("core: a fog needs at least one datacenter")
+	}
+	f := &Fog{
+		cfg:      cfg,
+		rng:      rng,
+		dcs:      dcs,
+		sns:      make(map[int64]*Supernode, len(sns)),
+		snEstPos: make(map[int64]struct{ x, y float64 }, len(sns)),
+		players:  make(map[int64]*Player),
+	}
+	for _, sn := range sns {
+		if err := f.RegisterSupernode(sn); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Name identifies the system in experiment output.
+func (f *Fog) Name() string { return "CloudFog" }
+
+// Datacenters returns the fog's datacenters.
+func (f *Fog) Datacenters() []*Datacenter { return f.dcs }
+
+// Supernodes returns the registered supernodes in registration order.
+func (f *Fog) Supernodes() []*Supernode { return f.snOrder }
+
+// OnlinePlayers returns the number of players currently served.
+func (f *Fog) OnlinePlayers() int { return len(f.players) }
+
+// RegisterSupernode adds a supernode to the fog. The supernode probes all
+// datacenters and attaches to the minimum-latency one for state updates;
+// the cloud records its geolocated position for future shortlists.
+func (f *Fog) RegisterSupernode(sn *Supernode) error {
+	if _, dup := f.sns[sn.ID]; dup {
+		return fmt.Errorf("core: supernode %d already registered", sn.ID)
+	}
+	best := f.dcs[0]
+	bestLat := f.cfg.Latency.OneWay(best.Endpoint(), sn.Endpoint())
+	for _, dc := range f.dcs[1:] {
+		if l := f.cfg.Latency.OneWay(dc.Endpoint(), sn.Endpoint()); l < bestLat {
+			best, bestLat = dc, l
+		}
+	}
+	sn.DC = best
+	sn.UpdateLatency = bestLat
+	f.sns[sn.ID] = sn
+	f.snOrder = append(f.snOrder, sn)
+	est := f.cfg.Locator.Locate(sn.Pos, f.rng)
+	f.snEstPos[sn.ID] = struct{ x, y float64 }{est.X, est.Y}
+	return nil
+}
+
+// DeregisterSupernode removes a supernode gracefully (paper: supernodes
+// notify the central server before leaving): its players fail over to their
+// backups or rejoin through the full assignment protocol.
+func (f *Fog) DeregisterSupernode(id int64) {
+	sn, ok := f.sns[id]
+	if !ok {
+		return
+	}
+	delete(f.sns, id)
+	delete(f.snEstPos, id)
+	for i, s := range f.snOrder {
+		if s.ID == id {
+			f.snOrder = append(f.snOrder[:i], f.snOrder[i+1:]...)
+			break
+		}
+	}
+	orphans := make([]*Player, 0, len(sn.players))
+	for _, p := range sn.players {
+		orphans = append(orphans, p)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].ID < orphans[j].ID })
+	sn.players = make(map[int64]*Player)
+	for _, p := range orphans {
+		p.Attached = Attachment{}
+		f.failover(p)
+	}
+}
+
+// Join runs the supernode assignment protocol of §III-A3 for a player and
+// returns the resulting attachment.
+func (f *Fog) Join(p *Player) Attachment {
+	if p.Online {
+		return p.Attached
+	}
+	p.Online = true
+	f.players[p.ID] = p
+	f.assign(p)
+	return p.Attached
+}
+
+// Leave detaches a player from its serving node.
+func (f *Fog) Leave(p *Player) {
+	if !p.Online {
+		return
+	}
+	p.Online = false
+	delete(f.players, p.ID)
+	f.detach(p)
+	p.Backups = nil
+}
+
+func (f *Fog) detach(p *Player) {
+	switch p.Attached.Kind {
+	case AttachSupernode:
+		delete(p.Attached.SN.players, p.ID)
+	case AttachCloud, AttachEdge:
+		p.Attached.DC.RemoveDirect(p.ID)
+	}
+	p.Attached = Attachment{}
+}
+
+// assign implements the join protocol: the cloud shortlists the
+// geographically closest supernodes with available capacity, the player
+// probes their transmission delay, drops candidates above its L_max
+// threshold, attaches to the fastest and records the rest as backups; a
+// player with no qualified supernode connects directly to the cloud.
+func (f *Fog) assign(p *Player) {
+	est := f.cfg.Locator.Locate(p.Pos, f.rng)
+	cands := f.shortlist(est.X, est.Y, f.cfg.Candidates)
+	lmax := f.cfg.Lmax(p.Game.NetworkBudget())
+
+	type probe struct {
+		sn    *Supernode
+		delay time.Duration
+	}
+	budget := p.Game.NetworkBudget()
+	// The guaranteed transmission floor: a supernode provisions
+	// UplinkPerSlot per supported player, so one segment at the game's
+	// bitrate takes at least segBytes/perSlot to send.
+	segBits := float64(f.cfg.Stream.SegmentBytes(p.Game.Quality().Bitrate)) * 8
+	minTrans := time.Duration(segBits / float64(f.cfg.UplinkPerSlot) * float64(time.Second))
+	probes := make([]probe, 0, len(cands))
+	for _, sn := range cands {
+		d := f.cfg.Latency.OneWay(p.Endpoint(), sn.Endpoint())
+		// A candidate qualifies when the probed streaming hop fits the
+		// player's L_max threshold and the full serving path — update hop
+		// and per-slot transmission floor included — fits the game's
+		// network budget; otherwise streaming from this supernode could
+		// not possibly satisfy the player and the direct cloud connection
+		// is the better fallback.
+		if d <= lmax && d+sn.UpdateLatency+minTrans <= budget {
+			probes = append(probes, probe{sn, d})
+		}
+	}
+	// Rank candidates by total serving-path delay: the probed streaming
+	// hop plus the supernode's advertised cloud→supernode update latency.
+	// The video for an action cannot be rendered before the update
+	// arrives, so both hops are on the response path.
+	sort.SliceStable(probes, func(i, j int) bool {
+		return probes[i].delay+probes[i].sn.UpdateLatency <
+			probes[j].delay+probes[j].sn.UpdateLatency
+	})
+
+	for i, pr := range probes {
+		if pr.sn.Available() <= 0 {
+			continue
+		}
+		pr.sn.players[p.ID] = p
+		p.Attached = Attachment{
+			Kind:          AttachSupernode,
+			DC:            pr.sn.DC,
+			SN:            pr.sn,
+			StreamLatency: pr.delay,
+			UpdateLatency: pr.sn.UpdateLatency,
+		}
+		p.Backups = p.Backups[:0]
+		for _, b := range probes[i+1:] {
+			p.Backups = append(p.Backups, b.sn)
+		}
+		return
+	}
+	f.attachCloud(p, est.X, est.Y)
+}
+
+// failover reattaches an orphaned player, preferring its recorded backups
+// (re-probed for liveness, capacity and delay) before rerunning the full
+// protocol.
+func (f *Fog) failover(p *Player) {
+	lmax := f.cfg.Lmax(p.Game.NetworkBudget())
+	for i, sn := range p.Backups {
+		// The backup must still be the registered machine: a departed
+		// supernode whose contributor later re-registers under the same
+		// ID is a fresh instance, and this stale pointer must not absorb
+		// players behind its back.
+		if live, ok := f.sns[sn.ID]; !ok || live != sn || sn.Available() <= 0 {
+			continue
+		}
+		if f.cfg.Exclude != nil && f.cfg.Exclude(sn.ID) {
+			continue
+		}
+		d := f.cfg.Latency.OneWay(p.Endpoint(), sn.Endpoint())
+		if d > lmax {
+			continue
+		}
+		sn.players[p.ID] = p
+		p.Attached = Attachment{
+			Kind:          AttachSupernode,
+			DC:            sn.DC,
+			SN:            sn,
+			StreamLatency: d,
+			UpdateLatency: sn.UpdateLatency,
+		}
+		p.Backups = p.Backups[i+1:]
+		return
+	}
+	p.Backups = nil
+	f.assign(p)
+}
+
+// TryReassign attempts to move a fog-served player to a different qualified
+// supernode with a strictly better total serving path (stream + update
+// hops), optionally avoiding supernodes for which avoid returns true. The
+// player keeps its current attachment unless a strictly better one commits,
+// so the call never makes a player worse.
+//
+// This is the primitive behind supernode cooperation (the paper's §V future
+// work): after churn and failovers scatter players onto second-best
+// supernodes, cooperating supernodes shed them back to better homes.
+func (f *Fog) TryReassign(p *Player, avoid func(*Supernode) bool) bool {
+	if !p.Online || p.Attached.Kind != AttachSupernode {
+		return false
+	}
+	cur := p.Attached.SN
+	curTotal := p.Attached.StreamLatency + p.Attached.UpdateLatency
+
+	est := f.cfg.Locator.Locate(p.Pos, f.rng)
+	cands := f.shortlist(est.X, est.Y, f.cfg.Candidates)
+	lmax := f.cfg.Lmax(p.Game.NetworkBudget())
+	budget := p.Game.NetworkBudget()
+	segBits := float64(f.cfg.Stream.SegmentBytes(p.Game.Quality().Bitrate)) * 8
+	minTrans := time.Duration(segBits / float64(f.cfg.UplinkPerSlot) * float64(time.Second))
+
+	var best *Supernode
+	var bestStream time.Duration
+	bestTotal := curTotal
+	for _, sn := range cands {
+		if sn == cur || sn.Available() <= 0 || (avoid != nil && avoid(sn)) {
+			continue
+		}
+		d := f.cfg.Latency.OneWay(p.Endpoint(), sn.Endpoint())
+		if d > lmax || d+sn.UpdateLatency+minTrans > budget {
+			continue
+		}
+		if total := d + sn.UpdateLatency; total < bestTotal {
+			best, bestStream, bestTotal = sn, d, total
+		}
+	}
+	if best == nil {
+		return false
+	}
+	delete(cur.players, p.ID)
+	best.players[p.ID] = p
+	p.Attached = Attachment{
+		Kind:          AttachSupernode,
+		DC:            best.DC,
+		SN:            best,
+		StreamLatency: bestStream,
+		UpdateLatency: best.UpdateLatency,
+	}
+	return true
+}
+
+// attachCloud connects a player directly to the geographically closest
+// datacenter (by the cloud's estimate of the player's position).
+func (f *Fog) attachCloud(p *Player, estX, estY float64) {
+	best := f.dcs[0]
+	bestDist := dist2(estX, estY, best.Pos.X, best.Pos.Y)
+	for _, dc := range f.dcs[1:] {
+		if d := dist2(estX, estY, dc.Pos.X, dc.Pos.Y); d < bestDist {
+			best, bestDist = dc, d
+		}
+	}
+	best.AddDirect(p)
+	p.Attached = Attachment{
+		Kind:          AttachCloud,
+		DC:            best,
+		StreamLatency: f.cfg.Latency.OneWay(p.Endpoint(), best.Endpoint()),
+	}
+}
+
+// shortlist returns the k supernodes with available capacity closest to the
+// estimated position, using the cloud's geolocated supernode table.
+func (f *Fog) shortlist(x, y float64, k int) []*Supernode {
+	type entry struct {
+		sn *Supernode
+		d  float64
+	}
+	entries := make([]entry, 0, len(f.snOrder))
+	for _, sn := range f.snOrder {
+		if sn.Available() <= 0 {
+			continue
+		}
+		if f.cfg.Exclude != nil && f.cfg.Exclude(sn.ID) {
+			continue
+		}
+		est := f.snEstPos[sn.ID]
+		entries = append(entries, entry{sn, dist2(x, y, est.x, est.y)})
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].d < entries[j].d })
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	out := make([]*Supernode, len(entries))
+	for i, e := range entries {
+		out[i] = e.sn
+	}
+	return out
+}
+
+func dist2(ax, ay, bx, by float64) float64 {
+	dx, dy := ax-bx, ay-by
+	return dx*dx + dy*dy
+}
+
+// NetworkLatency returns the player's flow-level response network latency:
+// the propagation latency of the serving path plus the transmission time of
+// one video segment at the player's current bandwidth share. This is the
+// quantity the coverage and latency figures aggregate.
+func (f *Fog) NetworkLatency(p *Player) time.Duration {
+	return FlowLatency(f.cfg, p)
+}
+
+// CloudBandwidth returns the cloud's current video egress consumption:
+// Λ per active supernode (fog players cost the cloud only update traffic)
+// plus full stream bandwidth for each directly-connected player.
+func (f *Fog) CloudBandwidth() int64 {
+	var total int64
+	for _, sn := range f.snOrder {
+		if sn.Load() > 0 {
+			total += f.cfg.UpdateBandwidth
+		}
+	}
+	for _, dc := range f.dcs {
+		for _, p := range dc.direct {
+			total += f.cfg.WireRate(p.Game.Quality().Bitrate)
+		}
+	}
+	return total
+}
+
+// SupernodeUtilizations returns each active supernode's uplink utilization
+// u_j (served stream bandwidth over uplink), keyed by supernode ID — the
+// input to the incentive model of Eq. 1.
+func (f *Fog) SupernodeUtilizations() map[int64]float64 {
+	out := make(map[int64]float64, len(f.snOrder))
+	for _, sn := range f.snOrder {
+		var used int64
+		for _, p := range sn.players {
+			used += f.cfg.WireRate(p.Game.Quality().Bitrate)
+		}
+		u := float64(used) / float64(sn.Uplink)
+		if u > 1 {
+			u = 1
+		}
+		out[sn.ID] = u
+	}
+	return out
+}
+
+// FlowLatency is the shared flow-level latency model used by CloudFog and
+// both baselines: propagation of the serving path plus one segment's
+// transmission at the bottleneck share (serving node share vs. player
+// downlink). Unserved players get an effectively infinite latency.
+func FlowLatency(cfg Config, p *Player) time.Duration {
+	return FlowLatencyAt(cfg, p, p.Game.Quality().Bitrate)
+}
+
+// FlowLatencyAt is FlowLatency with an explicit encoding bitrate, used to
+// evaluate what latency a player would see at a different quality level
+// (the flow-level proxy for the rate-adaptation strategy).
+func FlowLatencyAt(cfg Config, p *Player, bitrate int64) time.Duration {
+	a := p.Attached
+	if !a.Served() {
+		return time.Duration(1<<62 - 1) // effectively uncovered
+	}
+	var share int64
+	switch a.Kind {
+	case AttachSupernode:
+		share = a.SN.Share()
+	case AttachCloud, AttachEdge:
+		share = a.DC.Share()
+	}
+	if p.Downlink > 0 && share > p.Downlink {
+		share = p.Downlink
+	}
+	if share <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	segBytes := cfg.Stream.SegmentBytes(bitrate)
+	trans := time.Duration(float64(segBytes) * 8 / float64(share) * float64(time.Second))
+	return a.PathLatency() + trans
+}
+
+// AdaptedFlowLatency returns the flow latency of a player whose encoder may
+// step down the quality ladder to fit the game's network budget: the
+// highest level at or below the game's matched level that meets the budget,
+// or the lowest ladder level if none does. This is the flow-level proxy for
+// the receiver-driven rate adaptation when whole-system (rather than
+// per-node event-driven) latency figures are computed.
+func AdaptedFlowLatency(cfg Config, p *Player) time.Duration {
+	budget := p.Game.NetworkBudget()
+	for lvl := p.Game.StartLevel; lvl >= 1; lvl-- {
+		l := FlowLatencyAt(cfg, p, mustBitrate(lvl))
+		if l <= budget || lvl == 1 {
+			return l
+		}
+	}
+	return FlowLatencyAt(cfg, p, mustBitrate(1))
+}
+
+func mustBitrate(level int) int64 {
+	q, err := game.LevelAt(level)
+	if err != nil {
+		panic(err)
+	}
+	return q.Bitrate
+}

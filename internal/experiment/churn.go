@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"cloudfog/internal/core"
+	"cloudfog/internal/econ"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/workload"
+)
+
+// ChurnResult summarizes a churn-driven run of the fog.
+type ChurnResult struct {
+	// Sessions started and ended during the run.
+	Joins, Leaves uint64
+	// SupernodeDepartures counts graceful supernode leaves injected.
+	SupernodeDepartures int
+	// MeanOnline is the time-averaged concurrent player count.
+	MeanOnline float64
+	// FogServedFrac is the time-averaged fraction of online players
+	// served by supernodes (the rest stream from the cloud).
+	FogServedFrac float64
+	// MeanLatency is the time-averaged mean network latency of online
+	// players.
+	MeanLatency time.Duration
+	// Unserved counts online players found without a serving attachment
+	// at any sample point — must be zero: failover repairs departures.
+	Unserved int
+}
+
+// ChurnDynamics runs the fog under the paper's session churn (Poisson joins
+// at 5 players/second, session-length mixture, friend-driven game choice)
+// while a fraction of supernodes gracefully departs and re-registers,
+// exercising the backup-failover path. Metrics are sampled every minute of
+// virtual time after a warmup.
+func ChurnDynamics(w *World, duration time.Duration, departEvery time.Duration) (ChurnResult, error) {
+	engine := sim.New()
+	fog, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	churn := workload.NewChurn(engine, fog, w.Pop, 5, sim.NewRand(w.Cfg.Seed+500))
+	churn.Start()
+
+	res := ChurnResult{}
+
+	// Periodically deregister the most-loaded supernode and re-register a
+	// fresh instance of it shortly after (a contributor rebooting).
+	if departEvery > 0 {
+		departRng := sim.NewRand(w.Cfg.Seed + 501)
+		engine.Every(departEvery, func() {
+			sns := fog.Supernodes()
+			if len(sns) == 0 {
+				return
+			}
+			sn := sns[departRng.Intn(len(sns))]
+			spec := snSpec{id: sn.ID, pos: sn.Pos, capacity: sn.Capacity, uplink: sn.Uplink}
+			fog.DeregisterSupernode(sn.ID)
+			res.SupernodeDepartures++
+			engine.Schedule(5*time.Minute, func() {
+				fresh := core.NewSupernode(spec.id, spec.pos, spec.capacity, spec.uplink)
+				if err := fog.RegisterSupernode(fresh); err != nil {
+					panic(fmt.Sprintf("re-register supernode %d: %v", spec.id, err))
+				}
+			})
+		})
+	}
+
+	warmup := duration / 5
+	var samples int
+	var onlineSum, fogFracSum float64
+	var latSum time.Duration
+	engine.Every(time.Minute, func() {
+		if engine.Now() < warmup {
+			return
+		}
+		online, fogServed := 0, 0
+		var lat time.Duration
+		for _, p := range w.Pop.Players {
+			if !p.Online {
+				continue
+			}
+			online++
+			if !p.Attached.Served() {
+				res.Unserved++
+				continue
+			}
+			if p.Attached.Kind == core.AttachSupernode {
+				fogServed++
+			}
+			lat += fog.NetworkLatency(p)
+		}
+		if online == 0 {
+			return
+		}
+		samples++
+		onlineSum += float64(online)
+		fogFracSum += float64(fogServed) / float64(online)
+		latSum += lat / time.Duration(online)
+	})
+
+	engine.RunUntil(duration)
+
+	res.Joins = churn.Joins()
+	res.Leaves = churn.Leaves()
+	if samples > 0 {
+		res.MeanOnline = onlineSum / float64(samples)
+		res.FogServedFrac = fogFracSum / float64(samples)
+		res.MeanLatency = latSum / time.Duration(samples)
+	}
+
+	// Restore the population for subsequent experiments.
+	for _, p := range w.Pop.Players {
+		if p.Online {
+			fog.Leave(p)
+		}
+	}
+	return res, nil
+}
+
+// IncentiveResult is one reward-rate point of the §III-A incentive study.
+type IncentiveResult struct {
+	RewardPerUnit float64
+	// Willing is the fraction of the fog's supernodes whose contributors
+	// profit at this reward rate (Eq. 1 > 0).
+	Willing float64
+	// ProviderSaving is C_g (Eq. 3) for the fog-served players, counting
+	// only the willing supernodes' contribution.
+	ProviderSaving float64
+}
+
+// IncentiveEvaluation runs the §IV promise ("we will evaluate the
+// effectiveness of this incentive mechanism"): join the population onto the
+// fog, read each supernode's actual uplink utilization, and sweep the
+// reward rate c_s to see how many contributors profit (Eq. 1) and what the
+// provider saves (Eq. 3). Bandwidth is accounted in Mbit/s units; costs
+// default to 0.2–1.0 units per contributor.
+func IncentiveEvaluation(w *World, rewards []float64) ([]IncentiveResult, error) {
+	fog, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
+	if err != nil {
+		return nil, err
+	}
+	players := w.JoinAll(fog, w.Cfg.Players)
+	defer w.LeaveAll(fog, players)
+
+	utils := fog.SupernodeUtilizations()
+	costRng := sim.NewRand(w.Cfg.Seed + 502)
+	sns := make([]econ.Supernode, 0, len(utils))
+	fogServed := 0
+	for _, sn := range fog.Supernodes() {
+		sns = append(sns, econ.Supernode{
+			Capacity:    float64(sn.Uplink) / 1e6, // Mbit/s units
+			Utilization: utils[sn.ID],
+			Cost:        0.2 + 0.8*costRng.Float64(),
+		})
+		fogServed += sn.Load()
+	}
+	// Stream rate R: mean wire rate across the ladder-matched games.
+	meanBitrate := 0.0
+	for _, p := range players {
+		meanBitrate += float64(w.Cfg.Core.WireRate(p.Game.Quality().Bitrate)) / 1e6
+	}
+	meanBitrate /= float64(len(players))
+	params := econ.Params{
+		RevenuePerUnit: 1.0,
+		StreamRate:     meanBitrate,
+		UpdateRate:     float64(w.Cfg.Core.UpdateBandwidth) / 1e6,
+	}
+
+	out := make([]IncentiveResult, 0, len(rewards))
+	for _, cs := range rewards {
+		params.RewardPerUnit = cs
+		willing := make([]econ.Supernode, 0, len(sns))
+		for _, s := range sns {
+			if econ.WillContribute(cs, s, 0) {
+				willing = append(willing, s)
+			}
+		}
+		r := IncentiveResult{RewardPerUnit: cs, Willing: float64(len(willing)) / float64(len(sns))}
+		// The willing supernodes can support at most their contribution
+		// over R players; the fog-served count is capped by that.
+		supportable := params.SupportedPlayers(willing)
+		served := fogServed
+		if served > supportable {
+			served = supportable
+		}
+		if saving, err := params.ProviderSaving(served, willing); err == nil {
+			r.ProviderSaving = saving
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// IncentiveSeries converts incentive results into plottable series.
+func IncentiveSeries(results []IncentiveResult) []metrics.Series {
+	willing := metrics.Series{Label: "willing-frac"}
+	saving := metrics.Series{Label: "provider-saving"}
+	for _, r := range results {
+		willing.Add(r.RewardPerUnit, r.Willing)
+		saving.Add(r.RewardPerUnit, r.ProviderSaving)
+	}
+	return []metrics.Series{willing, saving}
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChurnDynamicsKeepsEveryoneServed(t *testing.T) {
+	cfg := Default(11)
+	cfg.Players = 600
+	cfg.Supernodes = 40
+	cfg.EdgeServers = 5
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChurnDynamics(w, 2*time.Hour, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Joins == 0 {
+		t.Fatal("no sessions started")
+	}
+	if res.Unserved != 0 {
+		t.Fatalf("%d online players found unserved — failover broken", res.Unserved)
+	}
+	if res.SupernodeDepartures == 0 {
+		t.Fatal("no supernode departures were injected")
+	}
+	if res.MeanOnline <= 0 {
+		t.Fatal("no online players sampled")
+	}
+	if res.FogServedFrac <= 0 {
+		t.Fatal("no players fog-served under churn")
+	}
+	if res.MeanLatency <= 0 || res.MeanLatency > time.Second {
+		t.Fatalf("implausible mean latency %v", res.MeanLatency)
+	}
+	// The world must be restored for later experiments.
+	for _, p := range w.Pop.Players {
+		if p.Online || p.Attached.Served() {
+			t.Fatal("population not restored after churn run")
+		}
+	}
+}
+
+func TestChurnDynamicsDeterministic(t *testing.T) {
+	run := func() ChurnResult {
+		cfg := Default(12)
+		cfg.Players = 300
+		cfg.Supernodes = 20
+		cfg.EdgeServers = 3
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ChurnDynamics(w, time.Hour, 15*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("churn runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestIncentiveEvaluationMonotone(t *testing.T) {
+	w := testWorld(t)
+	rewards := []float64{0.05, 0.2, 0.5}
+	results, err := IncentiveEvaluation(w, rewards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(rewards) {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Higher rewards recruit weakly more contributors.
+	for i := 1; i < len(results); i++ {
+		if results[i].Willing < results[i-1].Willing {
+			t.Fatalf("willing fraction decreased with reward: %+v", results)
+		}
+	}
+	// At a generous reward most contributors profit...
+	if results[len(results)-1].Willing < 0.5 {
+		t.Fatalf("only %.2f willing at c_s=0.5", results[len(results)-1].Willing)
+	}
+	// ...and the provider still saves at the low end.
+	if results[0].ProviderSaving <= 0 {
+		t.Fatalf("no provider saving at c_s=%.2f: %+v", rewards[0], results[0])
+	}
+	series := IncentiveSeries(results)
+	if len(series) != 2 || len(series[0].Points) != len(rewards) {
+		t.Fatal("series conversion wrong")
+	}
+	// World restored.
+	for _, p := range w.Pop.Players {
+		if p.Online {
+			t.Fatal("players left online after incentive evaluation")
+		}
+	}
+}

@@ -1,0 +1,485 @@
+// Package experiment regenerates every figure of the CloudFog paper's
+// evaluation (§IV) on the simulator substrate. Each exported function
+// corresponds to one figure and returns the same series the paper plots;
+// the cmd/cloudfog-sim tool and the repository benchmarks print them.
+//
+// Default settings follow the paper: 10,000 players (10% supernode-capable,
+// 600 selected as supernodes), 5 main datacenters, 45 extra EdgeCloud
+// servers, Poisson joins at 5 players/second, session lengths from the
+// daily play-time mixture, θ=0.5, λ=1, h₁=100, h₂=10, 30 fps video.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudfog/internal/baseline"
+	"cloudfog/internal/core"
+	"cloudfog/internal/game"
+	"cloudfog/internal/geo"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/trace"
+	"cloudfog/internal/workload"
+)
+
+// Config parameterizes the whole evaluation.
+type Config struct {
+	Seed int64
+	// Core carries the infrastructure knobs (latency model, stream
+	// sizing, assignment parameters).
+	Core core.Config
+	// Workload carries the population parameters.
+	Workload workload.Config
+
+	Players            int
+	Supernodes         int
+	Datacenters        int
+	EdgeServers        int
+	EdgeServerCapacity int
+	EdgeServerEgress   int64
+}
+
+// Default returns the paper-default configuration.
+func Default(seed int64) Config {
+	coreCfg := core.DefaultConfig(seed)
+	coreCfg.DCEgress = 2_500_000_000 // per-datacenter video egress
+	wl := workload.DefaultConfig(seed + 1)
+	return Config{
+		Seed:               seed,
+		Core:               coreCfg,
+		Workload:           wl,
+		Players:            10_000,
+		Supernodes:         600,
+		Datacenters:        5,
+		EdgeServers:        45,
+		EdgeServerCapacity: 15,
+		EdgeServerEgress:   100_000_000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Players < 1 {
+		return fmt.Errorf("experiment: Players %d < 1", c.Players)
+	}
+	if c.Datacenters < 1 {
+		return fmt.Errorf("experiment: Datacenters %d < 1", c.Datacenters)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	return c.Workload.Validate()
+}
+
+// World holds the generated population and infrastructure specifications.
+// Infrastructure entities carry runtime state (attached players), so World
+// stores immutable specs and mints fresh instances per system.
+type World struct {
+	Cfg Config
+	Pop *workload.Population
+
+	dcPts  []geo.Point
+	srvPts []geo.Point
+	snSpec []snSpec
+}
+
+type snSpec struct {
+	id       int64
+	pos      geo.Point
+	capacity int
+	uplink   int64
+}
+
+// NewWorld generates the population and infrastructure placements.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wl := cfg.Workload
+	wl.Players = cfg.Players
+	pop, err := workload.Generate(wl)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Cfg: cfg, Pop: pop}
+
+	rng := sim.NewRand(cfg.Seed + 100)
+	w.dcPts = geo.SpreadPoints(cfg.Core.Region, maxInt(cfg.Datacenters, 25), rng.Fork())
+	w.srvPts = geo.SpreadPoints(cfg.Core.Region, cfg.EdgeServers, rng.Fork())
+
+	sns, err := pop.BuildSupernodes(cfg.Supernodes, cfg.Core.UplinkPerSlot, rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	w.snSpec = make([]snSpec, len(sns))
+	for i, sn := range sns {
+		w.snSpec[i] = snSpec{id: sn.ID, pos: sn.Pos, capacity: sn.Capacity, uplink: sn.Uplink}
+	}
+	return w, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Datacenters mints n fresh datacenter instances.
+func (w *World) Datacenters(n int) []*core.Datacenter {
+	if n > len(w.dcPts) {
+		n = len(w.dcPts)
+	}
+	dcs := make([]*core.Datacenter, n)
+	for i := 0; i < n; i++ {
+		dcs[i] = core.NewDatacenter(workload.DatacenterIDBase+int64(i), w.dcPts[i], w.Cfg.Core.DCEgress)
+	}
+	return dcs
+}
+
+// EdgeServers mints fresh edge-server instances.
+func (w *World) EdgeServers() []*core.Datacenter {
+	servers := make([]*core.Datacenter, len(w.srvPts))
+	for i, pt := range w.srvPts {
+		servers[i] = core.NewEdgeServer(workload.EdgeServerIDBase+int64(i), pt,
+			w.Cfg.EdgeServerEgress, w.Cfg.EdgeServerCapacity)
+	}
+	return servers
+}
+
+// SupernodeSet mints n fresh supernode instances (the first n of the
+// selected set, so sweeps nest).
+func (w *World) SupernodeSet(n int) []*core.Supernode {
+	if n > len(w.snSpec) {
+		n = len(w.snSpec)
+	}
+	sns := make([]*core.Supernode, n)
+	for i := 0; i < n; i++ {
+		sp := w.snSpec[i]
+		sns[i] = core.NewSupernode(sp.id, sp.pos, sp.capacity, sp.uplink)
+	}
+	return sns
+}
+
+// NewFog builds a CloudFog system with nDCs datacenters and nSNs supernodes.
+func (w *World) NewFog(nDCs, nSNs int) (*core.Fog, error) {
+	return core.BuildFog(w.Cfg.Core, w.Datacenters(nDCs), w.SupernodeSet(nSNs),
+		sim.NewRand(w.Cfg.Seed+200))
+}
+
+// NewCloud builds the Cloud baseline with nDCs datacenters.
+func (w *World) NewCloud(nDCs int) (*baseline.Cloud, error) {
+	return baseline.NewCloud(w.Cfg.Core, w.Datacenters(nDCs), sim.NewRand(w.Cfg.Seed+201))
+}
+
+// NewEdgeCloud builds the EdgeCloud baseline with nDCs datacenters and the
+// configured edge servers.
+func (w *World) NewEdgeCloud(nDCs int) (*baseline.EdgeCloud, error) {
+	return baseline.NewEdgeCloud(w.Cfg.Core, w.Datacenters(nDCs), w.EdgeServers(),
+		sim.NewRand(w.Cfg.Seed+202))
+}
+
+// JoinAll assigns every one of the first n players a game (uniformly at
+// random, deterministic in the world seed) and joins them to the system in
+// a deterministic shuffled order, returning the joined players.
+func (w *World) JoinAll(sys core.System, n int) []*core.Player {
+	return w.joinAll(sys, n, nil)
+}
+
+// JoinAllGame is JoinAll with every player assigned the same game — the
+// coverage sweeps' semantics, where each curve is a world whose games share
+// one network latency requirement.
+func (w *World) JoinAllGame(sys core.System, n int, g game.Game) []*core.Player {
+	return w.joinAll(sys, n, &g)
+}
+
+func (w *World) joinAll(sys core.System, n int, fixed *game.Game) []*core.Player {
+	if n > len(w.Pop.Players) {
+		n = len(w.Pop.Players)
+	}
+	rng := sim.NewRand(w.Cfg.Seed + 300)
+	players := make([]*core.Player, n)
+	order := rng.Perm(len(w.Pop.Players))[:n]
+	for i, idx := range order {
+		p := w.Pop.Players[idx]
+		if fixed != nil {
+			p.Game = *fixed
+		} else {
+			g, err := game.ByID(1 + rng.Intn(5))
+			if err != nil {
+				panic(err)
+			}
+			p.Game = g
+		}
+		players[i] = p
+	}
+	for _, p := range players {
+		sys.Join(p)
+	}
+	return players
+}
+
+// UseLatencySource swaps the latency source the world's systems measure
+// against — the hook that runs every experiment on the loopback-TCP testbed
+// instead of the synthetic model.
+func (w *World) UseLatencySource(src trace.Source) { w.Cfg.Core.Latency = src }
+
+// Endpoints enumerates every node in the world (players, supernodes,
+// datacenter sites, edge servers) for the testbed to host.
+func (w *World) Endpoints() []trace.Endpoint {
+	out := make([]trace.Endpoint, 0, len(w.Pop.Players)+len(w.snSpec)+len(w.dcPts)+len(w.srvPts))
+	for _, p := range w.Pop.Players {
+		out = append(out, p.Endpoint())
+	}
+	for _, sp := range w.snSpec {
+		out = append(out, trace.Endpoint{ID: trace.NodeID(sp.id), Pos: sp.pos, Class: trace.ClassSupernode})
+	}
+	for i, pt := range w.dcPts {
+		out = append(out, trace.Endpoint{ID: trace.NodeID(workload.DatacenterIDBase + int64(i)), Pos: pt, Class: trace.ClassDatacenter})
+	}
+	for i, pt := range w.srvPts {
+		out = append(out, trace.Endpoint{ID: trace.NodeID(workload.EdgeServerIDBase + int64(i)), Pos: pt, Class: trace.ClassServer})
+	}
+	return out
+}
+
+// ProbePairs enumerates the endpoint pairs the experiments will measure —
+// every player against every datacenter site and edge server, its k
+// geographically nearest supernodes, and every supernode against every
+// datacenter — so a testbed can prewarm them in parallel.
+func (w *World) ProbePairs(k int) [][2]trace.Endpoint {
+	var pairs [][2]trace.Endpoint
+	sns := make([]trace.Endpoint, len(w.snSpec))
+	for i, sp := range w.snSpec {
+		sns[i] = trace.Endpoint{ID: trace.NodeID(sp.id), Pos: sp.pos, Class: trace.ClassSupernode}
+	}
+	dcs := make([]trace.Endpoint, len(w.dcPts))
+	for i, pt := range w.dcPts {
+		dcs[i] = trace.Endpoint{ID: trace.NodeID(workload.DatacenterIDBase + int64(i)), Pos: pt, Class: trace.ClassDatacenter}
+	}
+	srvs := make([]trace.Endpoint, len(w.srvPts))
+	for i, pt := range w.srvPts {
+		srvs[i] = trace.Endpoint{ID: trace.NodeID(workload.EdgeServerIDBase + int64(i)), Pos: pt, Class: trace.ClassServer}
+	}
+	for _, p := range w.Pop.Players {
+		pe := p.Endpoint()
+		for _, dc := range dcs {
+			pairs = append(pairs, [2]trace.Endpoint{pe, dc})
+		}
+		for _, sv := range srvs {
+			pairs = append(pairs, [2]trace.Endpoint{pe, sv})
+		}
+		// k geographically nearest supernodes (a superset of any
+		// shortlist the assignment protocol will build).
+		type cand struct {
+			i int
+			d float64
+		}
+		cands := make([]cand, len(sns))
+		for i, sn := range sns {
+			cands[i] = cand{i, pe.Pos.DistanceTo(sn.Pos)}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		n := k
+		if n > len(cands) {
+			n = len(cands)
+		}
+		for _, c := range cands[:n] {
+			pairs = append(pairs, [2]trace.Endpoint{pe, sns[c.i]})
+		}
+	}
+	for _, sn := range sns {
+		for _, dc := range dcs {
+			pairs = append(pairs, [2]trace.Endpoint{sn, dc})
+		}
+	}
+	return pairs
+}
+
+// LeaveAll detaches the players (restoring the world for the next system).
+func (w *World) LeaveAll(sys core.System, players []*core.Player) {
+	for _, p := range players {
+		sys.Leave(p)
+	}
+}
+
+// gameForRequirement maps a swept network latency requirement onto the
+// matching game (the Figure 2 ladder rows are exactly the swept values).
+func gameForRequirement(req time.Duration) (game.Game, error) {
+	for _, g := range game.Games() {
+		if g.NetworkBudget() == req {
+			return g, nil
+		}
+	}
+	return game.Game{}, fmt.Errorf("experiment: no game with network requirement %v", req)
+}
+
+// CoverageVsDatacenters reproduces Figure 5(a): the fraction of players
+// whose network latency is within the requirement, as the number of
+// datacenters grows, under the pure Cloud model. Each requirement curve is
+// a run where every player plays the game with that requirement, matching
+// the paper's "different network latency requirements of games".
+func CoverageVsDatacenters(w *World, dcCounts []int, reqs []time.Duration) ([]metrics.Series, error) {
+	series := make([]metrics.Series, len(reqs))
+	for i, req := range reqs {
+		series[i].Label = fmt.Sprintf("req=%dms", req.Milliseconds())
+	}
+	for _, n := range dcCounts {
+		for i, req := range reqs {
+			g, err := gameForRequirement(req)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := w.NewCloud(n)
+			if err != nil {
+				return nil, err
+			}
+			players := w.JoinAllGame(sys, w.Cfg.Players, g)
+			var cov metrics.Coverage
+			for _, p := range players {
+				cov.Observe(sys.NetworkLatency(p), req)
+			}
+			series[i].Add(float64(n), cov.Fraction())
+			w.LeaveAll(sys, players)
+		}
+	}
+	return series, nil
+}
+
+// CoverageVsSupernodes reproduces Figure 5(b): coverage as supernodes are
+// added to the default datacenter deployment.
+func CoverageVsSupernodes(w *World, snCounts []int, reqs []time.Duration) ([]metrics.Series, error) {
+	series := make([]metrics.Series, len(reqs))
+	for i, req := range reqs {
+		series[i].Label = fmt.Sprintf("req=%dms", req.Milliseconds())
+	}
+	for _, n := range snCounts {
+		for i, req := range reqs {
+			g, err := gameForRequirement(req)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := w.NewFog(w.Cfg.Datacenters, n)
+			if err != nil {
+				return nil, err
+			}
+			players := w.JoinAllGame(sys, w.Cfg.Players, g)
+			var cov metrics.Coverage
+			for _, p := range players {
+				cov.Observe(sys.NetworkLatency(p), req)
+			}
+			series[i].Add(float64(n), cov.Fraction())
+			w.LeaveAll(sys, players)
+		}
+	}
+	return series, nil
+}
+
+// BandwidthVsPlayers reproduces Figure 7(a): the cloud's video egress as
+// the number of concurrent players grows, for Cloud, EdgeCloud and
+// CloudFog/B. Values are in Mbit/s.
+func BandwidthVsPlayers(w *World, playerCounts []int) ([]metrics.Series, error) {
+	cloud := metrics.Series{Label: "Cloud"}
+	edge := metrics.Series{Label: "EdgeCloud"}
+	fog := metrics.Series{Label: "CloudFog/B"}
+	for _, n := range playerCounts {
+		{
+			sys, err := w.NewCloud(w.Cfg.Datacenters)
+			if err != nil {
+				return nil, err
+			}
+			players := w.JoinAll(sys, n)
+			cloud.Add(float64(n), float64(sys.CloudBandwidth())/1e6)
+			w.LeaveAll(sys, players)
+		}
+		{
+			sys, err := w.NewEdgeCloud(w.Cfg.Datacenters)
+			if err != nil {
+				return nil, err
+			}
+			players := w.JoinAll(sys, n)
+			edge.Add(float64(n), float64(sys.CloudBandwidth())/1e6)
+			w.LeaveAll(sys, players)
+		}
+		{
+			sys, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
+			if err != nil {
+				return nil, err
+			}
+			players := w.JoinAll(sys, n)
+			fog.Add(float64(n), float64(sys.CloudBandwidth())/1e6)
+			w.LeaveAll(sys, players)
+		}
+	}
+	return []metrics.Series{cloud, edge, fog}, nil
+}
+
+// LatencyResult is one system's average response network latency (Fig. 8).
+type LatencyResult struct {
+	System string
+	Mean   time.Duration
+	Median time.Duration
+	P90    time.Duration
+}
+
+// ResponseLatency reproduces Figure 8(a): the average response latency per
+// player under Cloud, EdgeCloud, CloudFog/B and CloudFog/A at the default
+// scale. CloudFog/A uses the flow-level adaptation proxy (encoders step
+// down until the segment fits the game's budget).
+func ResponseLatency(w *World) ([]LatencyResult, error) {
+	out := make([]LatencyResult, 0, 4)
+
+	collect := func(name string, sys core.System, adapted bool) error {
+		players := w.JoinAll(sys, w.Cfg.Players)
+		var ds metrics.DurationSample
+		for _, p := range players {
+			var l time.Duration
+			if adapted {
+				l = core.AdaptedFlowLatency(w.Cfg.Core, p)
+			} else {
+				l = sys.NetworkLatency(p)
+			}
+			ds.Add(l + game.PlayoutDelay)
+		}
+		out = append(out, LatencyResult{
+			System: name,
+			Mean:   ds.Mean(),
+			Median: ds.Median(),
+			P90:    ds.Percentile(90),
+		})
+		w.LeaveAll(sys, players)
+		return nil
+	}
+
+	cloud, err := w.NewCloud(w.Cfg.Datacenters)
+	if err != nil {
+		return nil, err
+	}
+	if err := collect("Cloud", cloud, false); err != nil {
+		return nil, err
+	}
+	edge, err := w.NewEdgeCloud(w.Cfg.Datacenters)
+	if err != nil {
+		return nil, err
+	}
+	if err := collect("EdgeCloud", edge, false); err != nil {
+		return nil, err
+	}
+	fogB, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := collect("CloudFog/B", fogB, false); err != nil {
+		return nil, err
+	}
+	fogA, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := collect("CloudFog/A", fogA, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

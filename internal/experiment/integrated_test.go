@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"cloudfog/internal/coop"
+	"cloudfog/internal/core"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/trust"
+	"cloudfog/internal/workload"
+)
+
+// TestIntegratedFogOperations runs everything at once: session churn,
+// graceful supernode departures and returns, periodic cooperation passes,
+// and a byzantine supernode whose players report failures until the trust
+// registry blacklists it. The run must keep every online player served,
+// drain the byzantine supernode, and let cooperation reduce latency.
+func TestIntegratedFogOperations(t *testing.T) {
+	cfg := Default(77)
+	cfg.Players = 800
+	cfg.Supernodes = 50
+	cfg.EdgeServers = 5
+
+	registry := trust.NewRegistry(trust.Config{BlacklistBelow: 0.6, MinReports: 15, Decay: 1})
+	cfg.Core.Exclude = registry.Blacklisted
+
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.New()
+	fog, err := w.NewFog(cfg.Datacenters, cfg.Supernodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := workload.NewChurn(engine, fog, w.Pop, 5, sim.NewRand(78))
+	churn.Start()
+
+	// Let the system fill before the adversary acts.
+	engine.RunUntil(20 * time.Minute)
+
+	// The byzantine supernode: the most-loaded one starts corrupting
+	// streams; its players notice and report.
+	var byzantine *core.Supernode
+	for _, sn := range fog.Supernodes() {
+		if byzantine == nil || sn.Load() > byzantine.Load() {
+			byzantine = sn
+		}
+	}
+	if byzantine == nil || byzantine.Load() == 0 {
+		t.Fatal("setup: no loaded supernode to corrupt")
+	}
+	byzID := byzantine.ID
+
+	reporter := engine.Every(time.Minute, func() {
+		for _, sn := range fog.Supernodes() {
+			for range sn.Players() {
+				registry.Report(sn.ID, sn.ID != byzID)
+			}
+		}
+		// Players on a blacklisted supernode are reassigned by the cloud
+		// (it deregisters the machine and terminates the contract).
+		if registry.Blacklisted(byzID) {
+			fog.DeregisterSupernode(byzID)
+		}
+	})
+	defer reporter.Stop()
+
+	// Supernode churn: every 15 minutes one machine leaves and returns.
+	departRng := sim.NewRand(79)
+	engine.Every(15*time.Minute, func() {
+		sns := fog.Supernodes()
+		if len(sns) == 0 {
+			return
+		}
+		sn := sns[departRng.Intn(len(sns))]
+		if sn.ID == byzID {
+			return
+		}
+		id, pos, capacity, uplink := sn.ID, sn.Pos, sn.Capacity, sn.Uplink
+		fog.DeregisterSupernode(id)
+		engine.Schedule(4*time.Minute, func() {
+			if registry.Blacklisted(id) {
+				return
+			}
+			fresh := core.NewSupernode(id, pos, capacity, uplink)
+			if err := fog.RegisterSupernode(fresh); err != nil {
+				t.Errorf("re-register: %v", err)
+			}
+		})
+	})
+
+	// Cooperation: a rebalancing pass every 10 minutes.
+	var coopMoves int
+	engine.Every(10*time.Minute, func() {
+		coopMoves += coop.Rebalance(fog, coop.DefaultConfig()).Moves
+	})
+
+	engine.RunUntil(3 * time.Hour)
+
+	// 1. The byzantine supernode was caught and drained.
+	if !registry.Blacklisted(byzID) {
+		t.Fatal("byzantine supernode never blacklisted")
+	}
+	for _, sn := range fog.Supernodes() {
+		if sn.ID == byzID {
+			t.Fatal("byzantine supernode still registered")
+		}
+	}
+
+	// 2. No player was left unserved by any of the machinery.
+	online := 0
+	for _, p := range w.Pop.Players {
+		if !p.Online {
+			continue
+		}
+		online++
+		if !p.Attached.Served() {
+			t.Fatalf("online player %d unserved", p.ID)
+		}
+		if p.Attached.Kind == core.AttachSupernode && p.Attached.SN.ID == byzID {
+			t.Fatalf("player %d still on the byzantine supernode", p.ID)
+		}
+	}
+	if online == 0 {
+		t.Fatal("no players online after three hours of churn")
+	}
+
+	// 3. Cooperation did real work.
+	if coopMoves == 0 {
+		t.Fatal("cooperation passes never moved a player")
+	}
+
+	// 4. Core invariants hold at the end.
+	for _, sn := range fog.Supernodes() {
+		if sn.Load() > sn.Capacity {
+			t.Fatalf("supernode %d over capacity", sn.ID)
+		}
+		for _, pid := range sn.Players() {
+			p := sn.Member(pid)
+			if p == nil || p.Attached.SN != sn {
+				t.Fatalf("membership inconsistency at supernode %d", sn.ID)
+			}
+		}
+	}
+}

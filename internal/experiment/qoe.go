@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudfog/internal/core"
+	"cloudfog/internal/game"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/qoe"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/trace"
+	"cloudfog/internal/workload"
+)
+
+// groupRun partitions the joined players by serving node, runs the
+// segment-level QoE simulation per node, and aggregates all players.
+func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.Duration) (qoe.Summary, error) {
+	type group struct {
+		uplink int64
+		specs  []qoe.PlayerSpec
+	}
+	groups := make(map[string]*group)
+	for _, p := range players {
+		a := p.Attached
+		if !a.Served() {
+			continue
+		}
+		var key string
+		var uplink int64
+		switch a.Kind {
+		case core.AttachSupernode:
+			key = fmt.Sprintf("sn%d", a.SN.ID)
+			uplink = a.SN.Uplink
+		case core.AttachCloud, core.AttachEdge:
+			key = fmt.Sprintf("dc%d", a.DC.ID)
+			uplink = a.DC.Egress
+		}
+		g := groups[key]
+		if g == nil {
+			g = &group{uplink: uplink}
+			groups[key] = g
+		}
+		g.specs = append(g.specs, qoe.PlayerSpec{
+			ID:           p.ID,
+			Game:         p.Game,
+			Latency:      a.StreamLatency,
+			InboundDelay: a.UpdateLatency,
+		})
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var all []qoe.PlayerResult
+	for _, k := range keys {
+		g := groups[k]
+		res, err := qoe.RunNode(opts, g.uplink, g.specs, horizon)
+		if err != nil {
+			return qoe.Summary{}, err
+		}
+		all = append(all, res...)
+	}
+	return qoe.Summarize(all), nil
+}
+
+// ContinuityVsPlayers reproduces Figure 9(a): average playback continuity
+// as the number of concurrent players grows, for Cloud, EdgeCloud,
+// CloudFog/B and CloudFog/A. Each point runs the segment-level simulation
+// for `horizon` of virtual time on every serving node.
+func ContinuityVsPlayers(w *World, counts []int, horizon time.Duration) ([]metrics.Series, error) {
+	systems := []struct {
+		label   string
+		build   func() (core.System, error)
+		opts    qoe.Options
+		variant string
+	}{
+		{"Cloud", func() (core.System, error) { return w.NewCloud(w.Cfg.Datacenters) }, qoe.BasicOptions(), "basic"},
+		{"EdgeCloud", func() (core.System, error) { return w.NewEdgeCloud(w.Cfg.Datacenters) }, qoe.BasicOptions(), "basic"},
+		{"CloudFog/B", func() (core.System, error) { return w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes) }, qoe.BasicOptions(), "basic"},
+		{"CloudFog/A", func() (core.System, error) { return w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes) }, qoe.DefaultOptions(), "full"},
+	}
+	series := make([]metrics.Series, len(systems))
+	for i, sys := range systems {
+		series[i].Label = sys.label
+	}
+	for _, n := range counts {
+		for i, sd := range systems {
+			sys, err := sd.build()
+			if err != nil {
+				return nil, err
+			}
+			players := w.JoinAll(sys, n)
+			opts := sd.opts
+			opts.Seed = w.Cfg.Seed + int64(n)
+			sum, err := groupRun(w, players, opts, horizon)
+			if err != nil {
+				return nil, err
+			}
+			series[i].Add(float64(n), sum.MeanContinuity)
+			w.LeaveAll(sys, players)
+		}
+	}
+	return series, nil
+}
+
+// SupernodeScenario builds the controlled single-supernode workload of
+// Figures 10 and 11: one supernode with a fixed uplink supporting k nearby
+// players with realistic fog latencies (probed against the synthetic
+// trace) and the supernode's real cloud-update latency as inbound delay.
+func (w *World) SupernodeScenario(k int) (uplink int64, specs []qoe.PlayerSpec) {
+	// A large supernode: 12 capacity slots at the configured per-slot
+	// uplink (30 Mbps by default). The 5..30-player sweep then spans
+	// uplink utilization from ~0.15 to ~0.92 — congestion builds from
+	// frame-size bursts well before saturation, as in the paper's sweep.
+	uplink = 12 * w.Cfg.Core.UplinkPerSlot
+
+	// Pick the supernode with the best cloud-update path: the figure
+	// isolates load effects, so the serving node itself should not be
+	// latency-handicapped.
+	updateOf := func(sp snSpec) time.Duration {
+		snEP := trace.Endpoint{ID: trace.NodeID(sp.id), Pos: sp.pos, Class: trace.ClassSupernode}
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < w.Cfg.Datacenters && i < len(w.dcPts); i++ {
+			dcEP := trace.Endpoint{
+				ID:    trace.NodeID(workload.DatacenterIDBase + int64(i)),
+				Pos:   w.dcPts[i],
+				Class: trace.ClassDatacenter,
+			}
+			if l := w.Cfg.Core.Latency.OneWay(dcEP, snEP); l < best {
+				best = l
+			}
+		}
+		return best
+	}
+	sn := w.snSpec[0]
+	inbound := updateOf(sn)
+	for _, sp := range w.snSpec[1:] {
+		if u := updateOf(sp); u < inbound {
+			sn, inbound = sp, u
+		}
+	}
+	snEP := trace.Endpoint{ID: trace.NodeID(sn.id), Pos: sn.pos, Class: trace.ClassSupernode}
+
+	// Rank a geographic candidate pool by probed latency — the same
+	// shortlist-then-probe process the assignment protocol uses — and
+	// serve the k best. These are the players this supernode would
+	// actually support.
+	type cand struct {
+		idx int
+		d   float64
+	}
+	pool := make([]cand, len(w.Pop.Players))
+	for i, p := range w.Pop.Players {
+		pool[i] = cand{i, p.Pos.DistanceTo(sn.pos)}
+	}
+	sort.Slice(pool, func(a, b int) bool { return pool[a].d < pool[b].d })
+	poolSize := 10 * k
+	if poolSize > len(pool) {
+		poolSize = len(pool)
+	}
+	type probed struct {
+		idx int
+		l   time.Duration
+	}
+	probes := make([]probed, poolSize)
+	for i := 0; i < poolSize; i++ {
+		p := w.Pop.Players[pool[i].idx]
+		probes[i] = probed{pool[i].idx, w.Cfg.Core.Latency.OneWay(p.Endpoint(), snEP)}
+	}
+	sort.Slice(probes, func(a, b int) bool { return probes[a].l < probes[b].l })
+
+	rng := sim.NewRand(w.Cfg.Seed + 400)
+	if k > len(probes) {
+		k = len(probes)
+	}
+	specs = make([]qoe.PlayerSpec, k)
+	for i := 0; i < k; i++ {
+		p := w.Pop.Players[probes[i].idx]
+		g, err := game.ByID(1 + rng.Intn(5))
+		if err != nil {
+			panic(err)
+		}
+		specs[i] = qoe.PlayerSpec{
+			ID:           p.ID,
+			Game:         g,
+			Latency:      probes[i].l,
+			InboundDelay: inbound,
+		}
+	}
+	return uplink, specs
+}
+
+// StrategyEffect runs the Figure 10/11 sweep: the fraction of satisfied
+// players with and without one strategy, as the players-per-supernode load
+// grows. Set adaptation or scheduling (or both) to choose the variant under
+// test; the "without" series is always CloudFog/B.
+func StrategyEffect(w *World, loads []int, horizon time.Duration, adaptation, scheduling bool) ([]metrics.Series, error) {
+	label := "CloudFog-adapt"
+	if scheduling && !adaptation {
+		label = "CloudFog-schedule"
+	}
+	if scheduling && adaptation {
+		label = "CloudFog/A"
+	}
+	with := metrics.Series{Label: label}
+	without := metrics.Series{Label: "CloudFog/B"}
+	for _, k := range loads {
+		uplink, specs := w.SupernodeScenario(k)
+
+		opts := qoe.BasicOptions()
+		opts.Seed = w.Cfg.Seed + int64(k)
+		resB, err := qoe.RunNode(opts, uplink, specs, horizon)
+		if err != nil {
+			return nil, err
+		}
+		without.Add(float64(k), qoe.Summarize(resB).SatisfiedFrac)
+
+		opts.Adaptation = adaptation
+		opts.Scheduling = scheduling
+		resW, err := qoe.RunNode(opts, uplink, specs, horizon)
+		if err != nil {
+			return nil, err
+		}
+		with.Add(float64(k), qoe.Summarize(resW).SatisfiedFrac)
+	}
+	return []metrics.Series{without, with}, nil
+}
+
+// AdaptationEffect reproduces Figure 10(a): satisfied players with and
+// without the receiver-driven encoding rate adaptation.
+func AdaptationEffect(w *World, loads []int, horizon time.Duration) ([]metrics.Series, error) {
+	return StrategyEffect(w, loads, horizon, true, false)
+}
+
+// SchedulingEffect reproduces Figure 11(a): satisfied players with and
+// without the deadline-driven sender buffer scheduling.
+func SchedulingEffect(w *World, loads []int, horizon time.Duration) ([]metrics.Series, error) {
+	return StrategyEffect(w, loads, horizon, false, true)
+}

@@ -1,0 +1,175 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQualityLadder pins the ladder to the paper's Figure 2 exactly.
+func TestQualityLadder(t *testing.T) {
+	want := []struct {
+		level, w, h int
+		kbps        int64
+		req         time.Duration
+		rho         float64
+	}{
+		{1, 288, 216, 300, 30 * time.Millisecond, 0.6},
+		{2, 384, 216, 500, 50 * time.Millisecond, 0.7},
+		{3, 640, 480, 800, 70 * time.Millisecond, 0.8},
+		{4, 720, 486, 1200, 90 * time.Millisecond, 0.9},
+		{5, 1280, 720, 1800, 110 * time.Millisecond, 1.0},
+	}
+	ld := Ladder()
+	if len(ld) != len(want) {
+		t.Fatalf("ladder has %d levels, want %d", len(ld), len(want))
+	}
+	for i, w := range want {
+		q := ld[i]
+		if q.Level != w.level || q.Width != w.w || q.Height != w.h ||
+			q.Bitrate != w.kbps*1000 || q.LatencyReq != w.req || q.LatencyTolerance != w.rho {
+			t.Fatalf("ladder[%d] = %+v, want %+v", i, q, w)
+		}
+	}
+}
+
+func TestLadderReturnsCopy(t *testing.T) {
+	ld := Ladder()
+	ld[0].Bitrate = 1
+	if Ladder()[0].Bitrate == 1 {
+		t.Fatal("Ladder exposes internal table")
+	}
+}
+
+func TestLevelAtBounds(t *testing.T) {
+	if _, err := LevelAt(0); err == nil {
+		t.Fatal("LevelAt(0) did not error")
+	}
+	if _, err := LevelAt(6); err == nil {
+		t.Fatal("LevelAt(6) did not error")
+	}
+	q, err := LevelAt(3)
+	if err != nil || q.Bitrate != 800_000 {
+		t.Fatalf("LevelAt(3) = %+v, %v", q, err)
+	}
+}
+
+func TestMustLevelAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLevelAt(99) did not panic")
+		}
+	}()
+	MustLevelAt(99)
+}
+
+func TestHighestLevelWithin(t *testing.T) {
+	cases := []struct {
+		req  time.Duration
+		want int
+	}{
+		{110 * time.Millisecond, 5},
+		{100 * time.Millisecond, 4},
+		{90 * time.Millisecond, 4},
+		{89 * time.Millisecond, 3},
+		{50 * time.Millisecond, 2},
+		{30 * time.Millisecond, 1},
+		{10 * time.Millisecond, 1}, // cannot go below the ladder
+		{time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := HighestLevelWithin(c.req); got.Level != c.want {
+			t.Errorf("HighestLevelWithin(%v) = L%d, want L%d", c.req, got.Level, c.want)
+		}
+	}
+}
+
+// TestPaperEncodingExample checks §III-B's example: a game with a 90 ms
+// latency requirement should be encoded at 1200 kbps (level 4).
+func TestPaperEncodingExample(t *testing.T) {
+	q := HighestLevelWithin(90 * time.Millisecond)
+	if q.Bitrate != 1_200_000 || q.Level != 4 {
+		t.Fatalf("90ms game mapped to %+v, want level 4 @ 1200kbps", q)
+	}
+}
+
+// TestAdjustUpFactor checks β (Eq. 10) for the Figure 2 ladder: the largest
+// relative step is 300→500 kbps, i.e. 2/3.
+func TestAdjustUpFactor(t *testing.T) {
+	if got := AdjustUpFactor(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("beta = %v, want 2/3", got)
+	}
+}
+
+func TestFiveGamesMatchLadder(t *testing.T) {
+	gs := Games()
+	if len(gs) != 5 {
+		t.Fatalf("%d games, want 5", len(gs))
+	}
+	for i, g := range gs {
+		q := g.Quality()
+		if q.LatencyReq != g.LatencyReq {
+			t.Errorf("game %d: quality req %v != game req %v", g.ID, q.LatencyReq, g.LatencyReq)
+		}
+		if g.ID != i+1 {
+			t.Errorf("game IDs not sequential: %d at index %d", g.ID, i)
+		}
+		if q.LatencyTolerance != g.RhoLatency {
+			t.Errorf("game %d: rho mismatch", g.ID)
+		}
+		if g.LossTolerance <= 0 || g.LossTolerance >= 1 {
+			t.Errorf("game %d: loss tolerance %v out of (0,1)", g.ID, g.LossTolerance)
+		}
+	}
+}
+
+func TestTolerancesMonotonicAcrossGenres(t *testing.T) {
+	gs := Games()
+	for i := 1; i < len(gs); i++ {
+		if gs[i].LatencyReq <= gs[i-1].LatencyReq {
+			t.Fatal("latency requirements not strictly increasing")
+		}
+		if gs[i].RhoLatency <= gs[i-1].RhoLatency {
+			t.Fatal("latency tolerance not strictly increasing")
+		}
+		if gs[i].LossTolerance <= gs[i-1].LossTolerance {
+			t.Fatal("loss tolerance not strictly increasing")
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	g, err := ByID(4)
+	if err != nil || g.Name != "mmorpg" {
+		t.Fatalf("ByID(4) = %+v, %v", g, err)
+	}
+	if _, err := ByID(0); err == nil {
+		t.Fatal("ByID(0) did not error")
+	}
+	if _, err := ByID(6); err == nil {
+		t.Fatal("ByID(6) did not error")
+	}
+}
+
+func TestResponseRequirementAddsPlayout(t *testing.T) {
+	g, _ := ByID(4)
+	if g.ResponseRequirement() != 110*time.Millisecond {
+		t.Fatalf("mmorpg response req = %v, want 110ms", g.ResponseRequirement())
+	}
+	if g.NetworkBudget() != 90*time.Millisecond {
+		t.Fatalf("mmorpg network budget = %v, want 90ms", g.NetworkBudget())
+	}
+}
+
+// TestGeneralRequirementDecomposition pins the paper's 100 = 20 + 80 split.
+func TestGeneralRequirementDecomposition(t *testing.T) {
+	if GeneralLatencyRequirement != 100*time.Millisecond {
+		t.Fatal("general requirement changed")
+	}
+	if PlayoutDelay != 20*time.Millisecond {
+		t.Fatal("playout delay changed")
+	}
+	if GeneralLatencyRequirement-PlayoutDelay != 80*time.Millisecond {
+		t.Fatal("network share of general requirement != 80ms")
+	}
+}

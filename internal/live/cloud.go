@@ -1,0 +1,255 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudfog/internal/proto"
+	"cloudfog/internal/world"
+)
+
+// Cloud is the live authoritative game server: it accepts player action
+// connections and supernode update subscriptions, ticks the virtual world
+// at a fixed rate, and ships deltas (plus the freshest action stamp per
+// player) to every subscribed supernode.
+type Cloud struct {
+	cfg  world.Config
+	tick time.Duration
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	w       *world.World
+	pending []world.Action
+	stamps  map[int64]time.Duration // freshest Issued per player, not yet shipped
+	subs    map[int64]*cloudSub
+	closed  bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+
+	// DelayFor returns the one-way delay the cloud injects toward a
+	// subscribing supernode (keyed by the supernode's hello ID). Nil
+	// means no delay.
+	DelayFor func(snID int64) time.Duration
+}
+
+type cloudSub struct {
+	link    *Link
+	version uint64
+}
+
+// StartCloud launches the cloud server on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func StartCloud(addr string, cfg world.Config, tick time.Duration) (*Cloud, error) {
+	if tick <= 0 {
+		return nil, fmt.Errorf("live: non-positive tick %v", tick)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cloud{
+		cfg:    cfg,
+		tick:   tick,
+		ln:     ln,
+		w:      world.New(cfg),
+		stamps: make(map[int64]time.Duration),
+		subs:   make(map[int64]*cloudSub),
+		stop:   make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.accept()
+	go c.loop()
+	return c, nil
+}
+
+// Addr returns the cloud's listen address.
+func (c *Cloud) Addr() string { return c.ln.Addr().String() }
+
+// World grants locked access to the authoritative world (for tests and
+// seeding objects).
+func (c *Cloud) World(f func(w *world.World)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(c.w)
+}
+
+func (c *Cloud) accept() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+func (c *Cloud) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	typ, payload, err := proto.ReadFrame(conn)
+	if err != nil || typ != proto.THello {
+		conn.Close()
+		return
+	}
+	hello, err := proto.UnmarshalHello(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch hello.Role {
+	case proto.RolePlayerActions:
+		c.servePlayer(conn, hello.ID)
+	case proto.RoleSupernode:
+		c.serveSupernode(conn, hello.ID)
+	default:
+		conn.Close()
+	}
+}
+
+// servePlayer ingests a player's action stream and spawns its avatar.
+func (c *Cloud) servePlayer(conn net.Conn, playerID int64) {
+	defer conn.Close()
+	c.mu.Lock()
+	if c.w.Avatar(playerID) == nil {
+		// Deterministic spawn position derived from the player ID.
+		b := c.cfg.Bounds
+		x := b.Min.X + float64(uint64(playerID)*2654435761%1000)/1000*b.Width()
+		y := b.Min.Y + float64(uint64(playerID)*40503%1000)/1000*b.Height()
+		if _, err := c.w.SpawnAvatar(playerID, world.Vec2{X: x, Y: y}); err != nil {
+			c.mu.Unlock()
+			return
+		}
+	}
+	c.mu.Unlock()
+	proto.WriteFrame(conn, proto.TAck, proto.MarshalAck(proto.Ack{}))
+
+	for {
+		typ, payload, err := proto.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if typ != proto.TAction {
+			continue
+		}
+		a, err := proto.UnmarshalAction(payload)
+		if err != nil || a.Player != playerID {
+			continue
+		}
+		c.mu.Lock()
+		c.pending = append(c.pending, a.Act)
+		if a.Issued > c.stamps[playerID] {
+			c.stamps[playerID] = a.Issued
+		}
+		c.mu.Unlock()
+	}
+}
+
+// serveSupernode registers an update subscription; deltas are pushed from
+// the tick loop, so this goroutine just waits for disconnect.
+func (c *Cloud) serveSupernode(conn net.Conn, snID int64) {
+	var delay time.Duration
+	if c.DelayFor != nil {
+		delay = c.DelayFor(snID)
+	}
+	link := NewLink(conn, delay)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		link.Close()
+		return
+	}
+	// A new subscription starts from a snapshot.
+	link.Send(proto.TDelta, proto.MarshalDelta(c.w.Snapshot()))
+	c.subs[snID] = &cloudSub{link: link, version: c.w.Version()}
+	c.mu.Unlock()
+
+	// Block until the peer goes away.
+	var buf [1]byte
+	for {
+		if _, err := conn.Read(buf[:]); err != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	if sub, ok := c.subs[snID]; ok && sub.link == link {
+		delete(c.subs, snID)
+	}
+	c.mu.Unlock()
+	link.Close()
+}
+
+// loop ticks the world at the configured rate and fans deltas out.
+func (c *Cloud) loop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.tickOnce()
+		}
+	}
+}
+
+func (c *Cloud) tickOnce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Apply(c.pending)
+	c.pending = c.pending[:0]
+	c.w.Step(c.tick.Seconds())
+
+	// Ship per-player action stamps, then the delta, to every supernode.
+	var stampFrames [][]byte
+	for player, issued := range c.stamps {
+		stampFrames = append(stampFrames, proto.MarshalAction(proto.Action{
+			Player: player,
+			Issued: issued,
+		}))
+	}
+	for player := range c.stamps {
+		delete(c.stamps, player)
+	}
+	minVersion := c.w.Version()
+	for _, sub := range c.subs {
+		for _, f := range stampFrames {
+			sub.link.Send(proto.TAction, f)
+		}
+		d := c.w.DeltaSince(sub.version)
+		sub.link.Send(proto.TDelta, proto.MarshalDelta(d))
+		sub.version = d.ToVersion
+		if sub.version < minVersion {
+			minVersion = sub.version
+		}
+	}
+	c.w.Compact(minVersion)
+}
+
+// Close shuts the cloud down.
+func (c *Cloud) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := make([]*cloudSub, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+
+	close(c.stop)
+	c.ln.Close()
+	for _, s := range subs {
+		s.link.Close()
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,113 @@
+// Package live runs an actual CloudFog deployment over TCP: a cloud server
+// owning the authoritative virtual world, supernode servers keeping
+// replicas and streaming rendered segments, and player clients issuing
+// actions and measuring end-to-end response latency. Wide-area propagation
+// is injected per link at the sender, so the bytes on the wire are real and
+// the timing is wide-area-shaped.
+//
+// This is the paper's architecture made concrete: player → cloud actions,
+// cloud → supernode update deltas, supernode → player video segments.
+package live
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"cloudfog/internal/proto"
+)
+
+// Link wraps a connection with sender-side one-way delay injection. Each
+// frame is released delay after it was enqueued — ordering is preserved,
+// but back-to-back frames are not head-of-line blocked behind each other's
+// delay (they overlap in flight, as on a real path).
+type Link struct {
+	conn  net.Conn
+	delay time.Duration
+
+	mu     sync.Mutex
+	sendq  chan queued
+	closed bool
+	err    error
+	wg     sync.WaitGroup
+}
+
+type queued struct {
+	release time.Time
+	typ     proto.MsgType
+	payload []byte
+}
+
+// NewLink wraps conn with the given one-way send delay. Close the link (not
+// the conn) when done.
+func NewLink(conn net.Conn, delay time.Duration) *Link {
+	l := &Link{conn: conn, delay: delay, sendq: make(chan queued, 1024)}
+	l.wg.Add(1)
+	go l.writer()
+	return l
+}
+
+func (l *Link) writer() {
+	defer l.wg.Done()
+	for q := range l.sendq {
+		if d := time.Until(q.release); d > 0 {
+			time.Sleep(d)
+		}
+		if err := proto.WriteFrame(l.conn, q.typ, q.payload); err != nil {
+			l.mu.Lock()
+			if l.err == nil {
+				l.err = err
+			}
+			l.mu.Unlock()
+			// Drain the rest so senders never block forever.
+			for range l.sendq {
+			}
+			return
+		}
+	}
+}
+
+// Send enqueues a frame for delayed transmission. It never blocks on the
+// network; a full queue drops the frame (the link is congested) and reports
+// false.
+func (l *Link) Send(t proto.MsgType, payload []byte) bool {
+	l.mu.Lock()
+	if l.closed || l.err != nil {
+		l.mu.Unlock()
+		return false
+	}
+	l.mu.Unlock()
+	select {
+	case l.sendq <- queued{release: time.Now().Add(l.delay), typ: t, payload: payload}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Recv reads the next frame from the connection (receive side is undelayed;
+// the sender already injected the one-way latency).
+func (l *Link) Recv() (proto.MsgType, []byte, error) {
+	return proto.ReadFrame(l.conn)
+}
+
+// Err returns the first write error, if any.
+func (l *Link) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close stops the writer and closes the connection.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	close(l.sendq)
+	l.mu.Unlock()
+	l.wg.Wait()
+	l.conn.Close()
+}

@@ -1,0 +1,226 @@
+package live
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudfog/internal/proto"
+	"cloudfog/internal/world"
+)
+
+func TestLinkDeliversInOrderWithDelay(t *testing.T) {
+	a, b := net.Pipe()
+	link := NewLink(a, 20*time.Millisecond)
+	defer link.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go func() {
+		for i := 0; i < 3; i++ {
+			link.Send(proto.TAck, proto.MarshalAck(proto.Ack{Code: uint32(i)}))
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		typ, payload, err := proto.ReadFrame(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, err := proto.UnmarshalAck(payload)
+		if err != nil || typ != proto.TAck || ack.Code != uint32(i) {
+			t.Fatalf("frame %d: %v %+v %v", i, typ, ack, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("frames arrived in %v, before the injected delay", elapsed)
+	}
+	// Back-to-back frames overlap in flight: 3 frames should take ~one
+	// delay, not three.
+	if elapsed > 55*time.Millisecond {
+		t.Fatalf("frames head-of-line blocked: %v", elapsed)
+	}
+}
+
+func TestLinkSendAfterCloseFails(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	link := NewLink(a, 0)
+	link.Close()
+	if link.Send(proto.TAck, nil) {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func TestLinkPeerGoneSetsErr(t *testing.T) {
+	a, b := net.Pipe()
+	link := NewLink(a, 0)
+	defer link.Close()
+	b.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		link.Send(proto.TAck, nil)
+		if link.Err() != nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("write error never surfaced after peer closed")
+}
+
+// TestEndToEndPipeline runs the complete live deployment: cloud, one
+// supernode, two players, injected delays — and checks that segments flow,
+// the replica tracks the world, and measured response latencies sit above
+// the injected path delay.
+func TestEndToEndPipeline(t *testing.T) {
+	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 33*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	const updateDelay = 10 * time.Millisecond
+	cloud.DelayFor = func(int64) time.Duration { return updateDelay }
+
+	sn, err := StartSupernode(1_000_000, cloud.Addr(), "127.0.0.1:0", 5*time.Millisecond, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	const streamDelay = 8 * time.Millisecond
+	sn.DelayFor = func(int64) time.Duration { return streamDelay }
+
+	// Seed some world objects so views have content.
+	cloud.World(func(w *world.World) {
+		for i := 0; i < 20; i++ {
+			w.SpawnObject(world.Vec2{X: float64(i * 400), Y: float64(i * 350)})
+		}
+	})
+
+	var wg sync.WaitGroup
+	reports := make([]PlayerReport, 2)
+	errs := make([]error, 2)
+	for i := range reports {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = RunPlayer(PlayerConfig{
+				ID:          int64(i + 1),
+				GameID:      4,
+				CloudAddr:   cloud.Addr(),
+				StreamAddr:  sn.Addr(),
+				ActionDelay: 6 * time.Millisecond,
+				ActionEvery: 100 * time.Millisecond,
+			}, 2*time.Second)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("player %d: %v", i, err)
+		}
+	}
+	for i, r := range reports {
+		// ~30 fps for 2 s; allow generous slack for CI scheduling.
+		if r.Segments < 30 || r.Segments > 75 {
+			t.Fatalf("player %d received %d segments, want ~60", i, r.Segments)
+		}
+		if r.Bytes <= 0 {
+			t.Fatalf("player %d received no payload bytes", i)
+		}
+		if r.Actions < 10 {
+			t.Fatalf("player %d issued only %d actions", i, r.Actions)
+		}
+		if r.MeanResponse == 0 {
+			t.Fatalf("player %d measured no response latencies", i)
+		}
+		// The response path is action(6ms) + tick wait + update(10ms) +
+		// render wait + stream(8ms): at least the injected 24 ms.
+		if r.MeanResponse < 24*time.Millisecond {
+			t.Fatalf("player %d mean response %v below injected path delay", i, r.MeanResponse)
+		}
+		if r.MeanResponse > 500*time.Millisecond {
+			t.Fatalf("player %d mean response %v implausibly high", i, r.MeanResponse)
+		}
+	}
+
+	// The supernode's replica tracked the live world.
+	if v := sn.ReplicaVersion(); v == 0 {
+		t.Fatal("replica never advanced")
+	}
+	msgs, bytes := sn.UpdateTraffic()
+	if msgs == 0 || bytes == 0 {
+		t.Fatal("no update traffic recorded")
+	}
+	// Update traffic must be far below the video traffic — the paper's
+	// central bandwidth claim.
+	videoBytes := reports[0].Bytes + reports[1].Bytes
+	if bytes >= videoBytes {
+		t.Fatalf("update traffic %dB not below video traffic %dB", bytes, videoBytes)
+	}
+}
+
+func TestCloudRejectsBadHello(t *testing.T) {
+	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 33*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	conn, err := net.Dial("tcp", cloud.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Not a hello: the cloud must drop the connection.
+	proto.WriteFrame(conn, proto.TAck, proto.MarshalAck(proto.Ack{}))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil {
+		t.Fatal("cloud kept a connection that never said hello")
+	}
+}
+
+func TestSupernodeRejectsBadJoin(t *testing.T) {
+	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 33*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	sn, err := StartSupernode(5, cloud.Addr(), "127.0.0.1:0", 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+
+	conn, err := net.Dial("tcp", sn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Unknown game ID: join must be rejected.
+	proto.WriteFrame(conn, proto.TJoinStream, proto.MarshalJoinStream(proto.JoinStream{Player: 1, GameID: 99}))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil {
+		t.Fatal("supernode kept a join with an unknown game")
+	}
+}
+
+func TestCloudCloseIsClean(t *testing.T) {
+	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := StartSupernode(9, cloud.Addr(), "127.0.0.1:0", 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	cloud.Close()
+	cloud.Close() // idempotent
+	sn.Close()
+	sn.Close()
+}

@@ -1,0 +1,189 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/proto"
+	"cloudfog/internal/world"
+)
+
+// PlayerConfig describes one live player client.
+type PlayerConfig struct {
+	ID     int64
+	GameID int
+	// CloudAddr receives the action stream; StreamAddr serves the video.
+	CloudAddr  string
+	StreamAddr string
+	// ActionDelay is the injected one-way player→cloud latency.
+	ActionDelay time.Duration
+	// ActionEvery is the input cadence (default 250 ms).
+	ActionEvery time.Duration
+	// UploadAllowance is subtracted from each response sample before the
+	// budget check: the paper's latency budget covers the downstream path
+	// (upload "does not seriously affect the response latency", §III-A),
+	// while RunPlayer necessarily measures the full action→video loop.
+	UploadAllowance time.Duration
+	// ViewRadius is the player's visible range in world units.
+	ViewRadius float64
+}
+
+// PlayerReport summarizes a live player session.
+type PlayerReport struct {
+	Segments     int64
+	Bytes        int64
+	Actions      int64
+	MeanResponse time.Duration
+	P95Response  time.Duration
+	// WithinBudget is the fraction of response samples inside the game's
+	// response-latency requirement.
+	WithinBudget float64
+}
+
+// RunPlayer drives one player for the given wall-clock duration: an action
+// connection to the cloud (move commands toward wandering targets) and a
+// stream subscription at the supernode. Response latency is measured from
+// action issue to the arrival of the first segment stamped with it.
+func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
+	if cfg.ActionEvery <= 0 {
+		cfg.ActionEvery = 250 * time.Millisecond
+	}
+	if cfg.ViewRadius <= 0 {
+		cfg.ViewRadius = 600
+	}
+	g, err := game.ByID(cfg.GameID)
+	if err != nil {
+		return PlayerReport{}, err
+	}
+
+	// Action connection.
+	actConn, err := net.Dial("tcp", cfg.CloudAddr)
+	if err != nil {
+		return PlayerReport{}, fmt.Errorf("live: dial cloud: %w", err)
+	}
+	actLink := NewLink(actConn, cfg.ActionDelay)
+	defer actLink.Close()
+	if !actLink.Send(proto.THello, proto.MarshalHello(proto.Hello{Role: proto.RolePlayerActions, ID: cfg.ID})) {
+		return PlayerReport{}, fmt.Errorf("live: hello to cloud failed")
+	}
+	if typ, _, err := actLink.Recv(); err != nil || typ != proto.TAck {
+		return PlayerReport{}, fmt.Errorf("live: cloud rejected player: %v", err)
+	}
+
+	// Stream subscription.
+	strConn, err := net.Dial("tcp", cfg.StreamAddr)
+	if err != nil {
+		return PlayerReport{}, fmt.Errorf("live: dial supernode: %w", err)
+	}
+	defer strConn.Close()
+	join := proto.JoinStream{
+		Player: cfg.ID,
+		GameID: int32(cfg.GameID),
+		ViewX:  5000, ViewY: 5000, ViewR: cfg.ViewRadius,
+		LevelCap: uint8(g.StartLevel),
+	}
+	if err := proto.WriteFrame(strConn, proto.TJoinStream, proto.MarshalJoinStream(join)); err != nil {
+		return PlayerReport{}, err
+	}
+	if typ, _, err := proto.ReadFrame(strConn); err != nil || typ != proto.TAck {
+		return PlayerReport{}, fmt.Errorf("live: supernode rejected join: %v", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		issuedAt  = map[time.Duration]time.Time{}
+		report    PlayerReport
+		responses []time.Duration
+		lastSeen  time.Duration
+	)
+
+	// Action generator: wander between deterministic targets.
+	stopActions := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(cfg.ActionEvery)
+		defer ticker.Stop()
+		h := uint64(cfg.ID)*2654435761 + 12345
+		for {
+			select {
+			case <-stopActions:
+				return
+			case <-ticker.C:
+				h = h*6364136223846793005 + 1442695040888963407
+				target := world.Vec2{
+					X: float64(h%10000) / 10000 * 10000,
+					Y: float64((h>>20)%10000) / 10000 * 10000,
+				}
+				stamp := time.Duration(time.Now().UnixNano())
+				mu.Lock()
+				issuedAt[stamp] = time.Now()
+				report.Actions++
+				mu.Unlock()
+				actLink.Send(proto.TAction, proto.MarshalAction(proto.Action{
+					Player: cfg.ID,
+					Issued: stamp,
+					Act:    world.Action{Player: cfg.ID, Kind: world.ActionMove, Target: target},
+				}))
+			}
+		}
+	}()
+
+	// Segment receiver.
+	deadline := time.Now().Add(duration)
+	strConn.SetReadDeadline(deadline.Add(2 * time.Second))
+	for time.Now().Before(deadline) {
+		typ, payload, err := proto.ReadFrame(strConn)
+		if err != nil {
+			break
+		}
+		if typ != proto.TSegment {
+			continue
+		}
+		seg, err := proto.UnmarshalSegment(payload)
+		if err != nil {
+			continue
+		}
+		mu.Lock()
+		report.Segments++
+		report.Bytes += int64(len(seg.Payload))
+		if seg.ActionIssued > lastSeen {
+			lastSeen = seg.ActionIssued
+			if t0, ok := issuedAt[seg.ActionIssued]; ok {
+				responses = append(responses, time.Since(t0))
+				delete(issuedAt, seg.ActionIssued)
+			}
+		}
+		mu.Unlock()
+	}
+
+	close(stopActions)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(responses) > 0 {
+		sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
+		var sum time.Duration
+		within := 0
+		for _, r := range responses {
+			sum += r
+			if r-cfg.UploadAllowance <= g.ResponseRequirement() {
+				within++
+			}
+		}
+		report.MeanResponse = sum / time.Duration(len(responses))
+		p95 := int(float64(len(responses)) * 0.95)
+		if p95 >= len(responses) {
+			p95 = len(responses) - 1
+		}
+		report.P95Response = responses[p95]
+		report.WithinBudget = float64(within) / float64(len(responses))
+	}
+	return report, nil
+}

@@ -1,0 +1,284 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/proto"
+	"cloudfog/internal/world"
+)
+
+// Supernode is a live fog node: it subscribes to the cloud's update stream,
+// maintains a replica of the virtual world, and streams rendered video
+// segments to its players at the frame rate.
+type Supernode struct {
+	id  int64
+	fps int
+
+	cloudLink *Link
+	ln        net.Listener
+
+	mu      sync.Mutex
+	replica *world.Replica
+	stamps  map[int64]time.Duration
+	players map[int64]*playerStream
+	closed  bool
+	// deltas and deltaBytes count the update stream (the Λ grounding).
+	deltas     int64
+	deltaBytes int64
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+
+	// DelayFor returns the one-way delay injected toward a player. Nil
+	// means no delay.
+	DelayFor func(playerID int64) time.Duration
+}
+
+type playerStream struct {
+	link *Link
+	join proto.JoinStream
+	g    game.Game
+	seq  int64
+}
+
+// StartSupernode launches a supernode: it dials the cloud (injecting
+// delayToCloud on its outbound hello/keepalive path; the cloud injects the
+// same on the update path via its own DelayFor) and serves players on addr.
+func StartSupernode(id int64, cloudAddr, addr string, delayToCloud time.Duration, fps int) (*Supernode, error) {
+	if fps <= 0 {
+		return nil, fmt.Errorf("live: non-positive fps %d", fps)
+	}
+	conn, err := net.Dial("tcp", cloudAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial cloud: %w", err)
+	}
+	cloudLink := NewLink(conn, delayToCloud)
+	if !cloudLink.Send(proto.THello, proto.MarshalHello(proto.Hello{Role: proto.RoleSupernode, ID: id})) {
+		cloudLink.Close()
+		return nil, fmt.Errorf("live: hello to cloud failed")
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		cloudLink.Close()
+		return nil, err
+	}
+	sn := &Supernode{
+		id:        id,
+		fps:       fps,
+		cloudLink: cloudLink,
+		ln:        ln,
+		replica:   world.NewReplica(),
+		stamps:    make(map[int64]time.Duration),
+		players:   make(map[int64]*playerStream),
+		stop:      make(chan struct{}),
+	}
+	sn.wg.Add(3)
+	go sn.consumeUpdates()
+	go sn.accept()
+	go sn.renderLoop()
+	return sn, nil
+}
+
+// Addr returns the supernode's player-facing listen address.
+func (sn *Supernode) Addr() string { return sn.ln.Addr().String() }
+
+// ReplicaVersion returns the replica's current world version.
+func (sn *Supernode) ReplicaVersion() uint64 {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.replica.Version()
+}
+
+// UpdateTraffic reports the update stream received so far: message count
+// and bytes (the measured Λ).
+func (sn *Supernode) UpdateTraffic() (msgs, bytes int64) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.deltas, sn.deltaBytes
+}
+
+// consumeUpdates applies the cloud's delta stream to the replica.
+func (sn *Supernode) consumeUpdates() {
+	defer sn.wg.Done()
+	for {
+		typ, payload, err := sn.cloudLink.Recv()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case proto.TDelta:
+			d, err := proto.UnmarshalDelta(payload)
+			if err != nil {
+				continue
+			}
+			sn.mu.Lock()
+			if applyErr := sn.replica.Apply(d); applyErr != nil {
+				// Version gap: wait for the next snapshot. (The cloud
+				// sends a snapshot on subscribe; gaps only arise from
+				// dropped frames on a congested link.)
+				sn.mu.Unlock()
+				continue
+			}
+			sn.deltas++
+			sn.deltaBytes += int64(len(payload))
+			sn.mu.Unlock()
+		case proto.TAction:
+			a, err := proto.UnmarshalAction(payload)
+			if err != nil {
+				continue
+			}
+			sn.mu.Lock()
+			if a.Issued > sn.stamps[a.Player] {
+				sn.stamps[a.Player] = a.Issued
+			}
+			sn.mu.Unlock()
+		}
+	}
+}
+
+func (sn *Supernode) accept() {
+	defer sn.wg.Done()
+	for {
+		conn, err := sn.ln.Accept()
+		if err != nil {
+			return
+		}
+		sn.wg.Add(1)
+		go sn.servePlayer(conn)
+	}
+}
+
+// servePlayer registers a player's stream subscription. Segments are pushed
+// from the render loop.
+func (sn *Supernode) servePlayer(conn net.Conn) {
+	defer sn.wg.Done()
+	typ, payload, err := proto.ReadFrame(conn)
+	if err != nil || typ != proto.TJoinStream {
+		conn.Close()
+		return
+	}
+	join, err := proto.UnmarshalJoinStream(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	g, err := game.ByID(int(join.GameID))
+	if err != nil {
+		conn.Close()
+		return
+	}
+	var delay time.Duration
+	if sn.DelayFor != nil {
+		delay = sn.DelayFor(join.Player)
+	}
+	link := NewLink(conn, delay)
+
+	sn.mu.Lock()
+	if sn.closed {
+		sn.mu.Unlock()
+		link.Close()
+		return
+	}
+	sn.players[join.Player] = &playerStream{link: link, join: join, g: g}
+	sn.mu.Unlock()
+	link.Send(proto.TAck, proto.MarshalAck(proto.Ack{}))
+
+	var buf [1]byte
+	for {
+		if _, err := conn.Read(buf[:]); err != nil {
+			break
+		}
+	}
+	sn.mu.Lock()
+	if ps, ok := sn.players[join.Player]; ok && ps.link == link {
+		delete(sn.players, join.Player)
+	}
+	sn.mu.Unlock()
+	link.Close()
+}
+
+// renderLoop produces one segment per frame interval for every player:
+// select the entities visible from the player's avatar, size the payload by
+// the game's ladder level, stamp the freshest covered action, send.
+func (sn *Supernode) renderLoop() {
+	defer sn.wg.Done()
+	ticker := time.NewTicker(time.Second / time.Duration(sn.fps))
+	defer ticker.Stop()
+	segBytes := func(g game.Game) int {
+		return int(g.Quality().Bitrate) / sn.fps / 8
+	}
+	for {
+		select {
+		case <-sn.stop:
+			return
+		case <-ticker.C:
+			sn.mu.Lock()
+			for pid, ps := range sn.players {
+				center := world.Vec2{X: ps.join.ViewX, Y: ps.join.ViewY}
+				// Follow the player's avatar once it exists in the replica.
+				if av, ok := sn.replica.Avatar(pid); ok {
+					center = av.Pos
+				}
+				visible := sn.replica.Visible(world.Viewport{Center: center, Radius: ps.join.ViewR})
+				payload := renderPayload(segBytes(ps.g), visible)
+				seg := proto.Segment{
+					Player:       pid,
+					Seq:          ps.seq,
+					Level:        uint8(ps.g.StartLevel),
+					ActionIssued: sn.stamps[pid],
+					Payload:      payload,
+				}
+				ps.seq++
+				ps.link.Send(proto.TSegment, proto.MarshalSegment(seg))
+			}
+			sn.mu.Unlock()
+		}
+	}
+}
+
+// renderPayload produces the segment bytes: a deterministic pattern seeded
+// by the visible entities (stand-in for encoded video — the sizes and
+// timing are what matter).
+func renderPayload(n int, visible []world.Entity) []byte {
+	if n < 16 {
+		n = 16
+	}
+	p := make([]byte, n)
+	h := uint64(len(visible) + 1)
+	for _, e := range visible {
+		h = h*1099511628211 + uint64(e.ID)
+	}
+	for i := range p {
+		h = h*6364136223846793005 + 1442695040888963407
+		p[i] = byte(h >> 56)
+	}
+	return p
+}
+
+// Close shuts the supernode down.
+func (sn *Supernode) Close() {
+	sn.mu.Lock()
+	if sn.closed {
+		sn.mu.Unlock()
+		return
+	}
+	sn.closed = true
+	players := make([]*playerStream, 0, len(sn.players))
+	for _, ps := range sn.players {
+		players = append(players, ps)
+	}
+	sn.mu.Unlock()
+
+	close(sn.stop)
+	sn.ln.Close()
+	sn.cloudLink.Close()
+	for _, ps := range players {
+		ps.link.Close()
+	}
+	sn.wg.Wait()
+}

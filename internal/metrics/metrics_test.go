@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordMeanStd(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 {
+		t.Fatal("single observation wrong")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range clean {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		ss := 0.0
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-naiveVar)/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationSamplePercentiles(t *testing.T) {
+	var d DurationSample
+	for i := 1; i <= 100; i++ {
+		d.Add(time.Duration(i) * time.Millisecond)
+	}
+	if d.N() != 100 {
+		t.Fatal("wrong N")
+	}
+	if d.Median() != 50*time.Millisecond {
+		t.Fatalf("median = %v", d.Median())
+	}
+	if d.Percentile(90) != 90*time.Millisecond {
+		t.Fatalf("p90 = %v", d.Percentile(90))
+	}
+	if d.Percentile(0) != time.Millisecond || d.Percentile(100) != 100*time.Millisecond {
+		t.Fatal("extremes wrong")
+	}
+	if d.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+}
+
+func TestDurationSampleEmpty(t *testing.T) {
+	var d DurationSample
+	if d.Mean() != 0 || d.Median() != 0 || d.Percentile(99) != 0 {
+		t.Fatal("empty sample not zero")
+	}
+}
+
+func TestDurationSampleAddAfterPercentile(t *testing.T) {
+	var d DurationSample
+	d.Add(10 * time.Millisecond)
+	_ = d.Median()
+	d.Add(20 * time.Millisecond)
+	d.Add(2 * time.Millisecond)
+	if d.Percentile(100) != 20*time.Millisecond || d.Percentile(0) != 2*time.Millisecond {
+		t.Fatal("re-sorting after Add broken")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	var c Coverage
+	if c.Fraction() != 0 {
+		t.Fatal("empty coverage not 0")
+	}
+	c.Observe(50*time.Millisecond, 80*time.Millisecond)
+	c.Observe(90*time.Millisecond, 80*time.Millisecond)
+	c.Observe(80*time.Millisecond, 80*time.Millisecond) // inclusive
+	if c.Fraction() != 2.0/3.0 {
+		t.Fatalf("fraction = %v", c.Fraction())
+	}
+	c.Add(true)
+	if c.Total() != 4 || c.Fraction() != 0.75 {
+		t.Fatal("Add broken")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := Series{Label: "Cloud"}
+	a.Add(5, 0.31)
+	a.Add(10, 0.42)
+	b := Series{Label: "CloudFog"}
+	b.Add(5, 0.65)
+	out := Table("#dcs", []Series{a, b})
+	for _, want := range []string{"#dcs", "Cloud", "CloudFog", "0.31", "0.42", "0.65"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell prints as "-".
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Fatalf("missing cell not dashed:\n%s", out)
+	}
+}

@@ -1,0 +1,82 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cloudfog/internal/world"
+)
+
+// Native fuzz targets: `go test -fuzz FuzzDecodeDelta ./internal/proto`.
+// In normal test runs they execute over the seed corpus only.
+
+func FuzzDecodeAction(f *testing.F) {
+	f.Add(MarshalAction(Action{Player: 1, Issued: time.Millisecond}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		a, err := UnmarshalAction(p)
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode to the same bytes.
+		if !bytes.Equal(MarshalAction(a), p) {
+			t.Fatalf("re-encode mismatch for %x", p)
+		}
+	})
+}
+
+func FuzzDecodeDelta(f *testing.F) {
+	d := world.Delta{
+		FromVersion: 3, ToVersion: 9,
+		Updated: []world.Entity{{ID: 1, Kind: world.KindAvatar, Owner: 2, HP: 50, Version: 9}},
+		Removed: []world.EntityID{7},
+	}
+	f.Add(MarshalDelta(d))
+	f.Add(MarshalDelta(world.Delta{Full: true}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		got, err := UnmarshalDelta(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(MarshalDelta(got), p) {
+			t.Fatalf("re-encode mismatch for %x", p)
+		}
+	})
+}
+
+func FuzzDecodeSegment(f *testing.F) {
+	f.Add(MarshalSegment(Segment{Player: 1, Seq: 2, Level: 3, Payload: []byte("xyz")}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		got, err := UnmarshalSegment(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(MarshalSegment(got), p) {
+			t.Fatalf("re-encode mismatch for %x", p)
+		}
+	})
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, TSegment, []byte("payload"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{byte(TDelta), 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(p))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, payload); err != nil {
+			t.Fatalf("re-frame failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), p[:out.Len()]) {
+			t.Fatal("re-framed bytes diverge")
+		}
+	})
+}

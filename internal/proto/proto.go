@@ -1,0 +1,375 @@
+// Package proto defines the CloudFog wire protocol: the binary messages
+// exchanged between players, the cloud, and supernodes in a live
+// deployment. Framing is [1-byte type][4-byte big-endian length][payload];
+// payloads are fixed-layout big-endian fields, hand-encoded so the format
+// is stable and inspectable.
+//
+// The message set mirrors the paper's data flows (§III-A):
+//
+//	player    → cloud      Action        (the player's input, timestamped)
+//	cloud     → supernode  Delta         (game-state update information)
+//	supernode → player     Segment       (one encoded video segment)
+//	player    → supernode  JoinStream    (subscribe a view)
+//	any       → any        Ack           (acknowledgements / errors)
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"cloudfog/internal/world"
+)
+
+// MsgType tags a frame.
+type MsgType uint8
+
+const (
+	// TAction is a player action sent to the cloud.
+	TAction MsgType = iota + 1
+	// TDelta is a cloud→supernode game-state update.
+	TDelta
+	// TSegment is a supernode→player video segment.
+	TSegment
+	// TJoinStream subscribes a player's view at a supernode.
+	TJoinStream
+	// TAck acknowledges a request (code 0 = OK).
+	TAck
+	// THello identifies a connecting peer's role.
+	THello
+)
+
+// MaxFrame bounds frame payloads (16 MiB) against corrupt length headers.
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("proto: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("proto: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[0]), payload, nil
+}
+
+// buffer is a simple append/consume byte cursor.
+type buffer struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (b *buffer) u8(v uint8)   { b.b = append(b.b, v) }
+func (b *buffer) u32(v uint32) { b.b = binary.BigEndian.AppendUint32(b.b, v) }
+func (b *buffer) u64(v uint64) { b.b = binary.BigEndian.AppendUint64(b.b, v) }
+func (b *buffer) i64(v int64)  { b.u64(uint64(v)) }
+func (b *buffer) f64(v float64) {
+	b.u64(math.Float64bits(v))
+}
+
+func (b *buffer) need(n int) bool {
+	if b.err != nil {
+		return false
+	}
+	if b.off+n > len(b.b) {
+		b.err = io.ErrUnexpectedEOF
+		return false
+	}
+	return true
+}
+
+func (b *buffer) ru8() uint8 {
+	if !b.need(1) {
+		return 0
+	}
+	v := b.b[b.off]
+	b.off++
+	return v
+}
+
+func (b *buffer) ru32() uint32 {
+	if !b.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(b.b[b.off:])
+	b.off += 4
+	return v
+}
+
+func (b *buffer) ru64() uint64 {
+	if !b.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(b.b[b.off:])
+	b.off += 8
+	return v
+}
+
+func (b *buffer) ri64() int64   { return int64(b.ru64()) }
+func (b *buffer) rf64() float64 { return math.Float64frombits(b.ru64()) }
+
+func (b *buffer) finish() error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.off != len(b.b) {
+		return fmt.Errorf("proto: %d trailing bytes", len(b.b)-b.off)
+	}
+	return nil
+}
+
+// Action is a timestamped player input.
+type Action struct {
+	Player int64
+	// Issued is the client's send time (virtual or wall nanoseconds);
+	// it rides through the pipeline so end-to-end response latency can
+	// be measured at delivery.
+	Issued time.Duration
+	Act    world.Action
+}
+
+// MarshalAction encodes an action message.
+func MarshalAction(a Action) []byte {
+	var b buffer
+	b.i64(a.Player)
+	b.i64(int64(a.Issued))
+	b.u8(uint8(a.Act.Kind))
+	b.i64(a.Act.Player)
+	b.f64(a.Act.Target.X)
+	b.f64(a.Act.Target.Y)
+	b.i64(int64(a.Act.Victim))
+	return b.b
+}
+
+// UnmarshalAction decodes an action message.
+func UnmarshalAction(p []byte) (Action, error) {
+	b := buffer{b: p}
+	var a Action
+	a.Player = b.ri64()
+	a.Issued = time.Duration(b.ri64())
+	a.Act.Kind = world.ActionKind(b.ru8())
+	a.Act.Player = b.ri64()
+	a.Act.Target.X = b.rf64()
+	a.Act.Target.Y = b.rf64()
+	a.Act.Victim = world.EntityID(b.ri64())
+	return a, b.finish()
+}
+
+// MarshalDelta encodes a world delta (the cloud's update information).
+func MarshalDelta(d world.Delta) []byte {
+	var b buffer
+	b.u64(d.FromVersion)
+	b.u64(d.ToVersion)
+	full := uint8(0)
+	if d.Full {
+		full = 1
+	}
+	b.u8(full)
+	b.u32(uint32(len(d.Updated)))
+	b.u32(uint32(len(d.Removed)))
+	for _, e := range d.Updated {
+		b.i64(int64(e.ID))
+		b.u8(uint8(e.Kind))
+		b.i64(e.Owner)
+		b.f64(e.Pos.X)
+		b.f64(e.Pos.Y)
+		b.f64(e.Vel.X)
+		b.f64(e.Vel.Y)
+		b.u32(uint32(e.HP))
+		b.u64(e.Version)
+	}
+	for _, id := range d.Removed {
+		b.i64(int64(id))
+	}
+	return b.b
+}
+
+// UnmarshalDelta decodes a world delta.
+func UnmarshalDelta(p []byte) (world.Delta, error) {
+	b := buffer{b: p}
+	var d world.Delta
+	d.FromVersion = b.ru64()
+	d.ToVersion = b.ru64()
+	d.Full = b.ru8() == 1
+	nUp := int(b.ru32())
+	nRm := int(b.ru32())
+	if b.err != nil {
+		return d, b.err
+	}
+	const perEntity = 8 + 1 + 8 + 32 + 4 + 8
+	if nUp*perEntity+nRm*8 > len(p) {
+		return d, fmt.Errorf("proto: delta counts exceed payload")
+	}
+	d.Updated = make([]world.Entity, 0, nUp)
+	for i := 0; i < nUp; i++ {
+		var e world.Entity
+		e.ID = world.EntityID(b.ri64())
+		e.Kind = world.Kind(b.ru8())
+		e.Owner = b.ri64()
+		e.Pos.X = b.rf64()
+		e.Pos.Y = b.rf64()
+		e.Vel.X = b.rf64()
+		e.Vel.Y = b.rf64()
+		e.HP = int32(b.ru32())
+		e.Version = b.ru64()
+		d.Updated = append(d.Updated, e)
+	}
+	d.Removed = make([]world.EntityID, 0, nRm)
+	for i := 0; i < nRm; i++ {
+		d.Removed = append(d.Removed, world.EntityID(b.ri64()))
+	}
+	return d, b.finish()
+}
+
+// Segment is one video segment header plus its (opaque) payload bytes.
+type Segment struct {
+	Player int64
+	Seq    int64
+	Level  uint8
+	// ActionIssued echoes the newest action reflected in this frame, so
+	// the player can measure response latency end to end.
+	ActionIssued time.Duration
+	Payload      []byte
+}
+
+// MarshalSegment encodes a segment message.
+func MarshalSegment(s Segment) []byte {
+	var b buffer
+	b.i64(s.Player)
+	b.i64(s.Seq)
+	b.u8(s.Level)
+	b.i64(int64(s.ActionIssued))
+	b.u32(uint32(len(s.Payload)))
+	b.b = append(b.b, s.Payload...)
+	return b.b
+}
+
+// UnmarshalSegment decodes a segment message.
+func UnmarshalSegment(p []byte) (Segment, error) {
+	b := buffer{b: p}
+	var s Segment
+	s.Player = b.ri64()
+	s.Seq = b.ri64()
+	s.Level = b.ru8()
+	s.ActionIssued = time.Duration(b.ri64())
+	n := int(b.ru32())
+	if b.err != nil {
+		return s, b.err
+	}
+	if n > len(p)-b.off {
+		return s, fmt.Errorf("proto: segment payload length %d exceeds frame", n)
+	}
+	s.Payload = make([]byte, n)
+	copy(s.Payload, b.b[b.off:b.off+n])
+	b.off += n
+	return s, b.finish()
+}
+
+// JoinStream subscribes a player's rendered view at a supernode.
+type JoinStream struct {
+	Player   int64
+	GameID   int32
+	ViewX    float64
+	ViewY    float64
+	ViewR    float64
+	LevelCap uint8
+}
+
+// MarshalJoinStream encodes a stream subscription.
+func MarshalJoinStream(j JoinStream) []byte {
+	var b buffer
+	b.i64(j.Player)
+	b.u32(uint32(j.GameID))
+	b.f64(j.ViewX)
+	b.f64(j.ViewY)
+	b.f64(j.ViewR)
+	b.u8(j.LevelCap)
+	return b.b
+}
+
+// UnmarshalJoinStream decodes a stream subscription.
+func UnmarshalJoinStream(p []byte) (JoinStream, error) {
+	b := buffer{b: p}
+	var j JoinStream
+	j.Player = b.ri64()
+	j.GameID = int32(b.ru32())
+	j.ViewX = b.rf64()
+	j.ViewY = b.rf64()
+	j.ViewR = b.rf64()
+	j.LevelCap = b.ru8()
+	return j, b.finish()
+}
+
+// Role identifies what a connecting peer is.
+type Role uint8
+
+const (
+	// RolePlayerActions marks a player's action connection to the cloud.
+	RolePlayerActions Role = iota + 1
+	// RoleSupernode marks a supernode's update subscription at the cloud.
+	RoleSupernode
+)
+
+// Hello is the first frame on any connection to the cloud.
+type Hello struct {
+	Role Role
+	ID   int64
+}
+
+// MarshalHello encodes a hello.
+func MarshalHello(h Hello) []byte {
+	var b buffer
+	b.u8(uint8(h.Role))
+	b.i64(h.ID)
+	return b.b
+}
+
+// UnmarshalHello decodes a hello.
+func UnmarshalHello(p []byte) (Hello, error) {
+	b := buffer{b: p}
+	h := Hello{Role: Role(b.ru8()), ID: b.ri64()}
+	return h, b.finish()
+}
+
+// Ack acknowledges a request.
+type Ack struct {
+	Code uint32 // 0 = OK
+}
+
+// MarshalAck encodes an acknowledgement.
+func MarshalAck(a Ack) []byte {
+	var b buffer
+	b.u32(a.Code)
+	return b.b
+}
+
+// UnmarshalAck decodes an acknowledgement.
+func UnmarshalAck(p []byte) (Ack, error) {
+	b := buffer{b: p}
+	a := Ack{Code: b.ru32()}
+	return a, b.finish()
+}

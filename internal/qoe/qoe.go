@@ -1,0 +1,404 @@
+// Package qoe runs the segment-level QoE simulation behind the paper's
+// Figures 9-11: one serving node (a supernode, datacenter, or edge server)
+// streams game video to a set of players over a shared uplink, with the
+// receiver-driven encoding rate adaptation (§III-B) and the deadline-driven
+// sender buffer scheduling (§III-C) individually switchable.
+//
+// Each player's stream produces one segment per frame interval; segments
+// pass through the node's sender buffer, transmit serially over the uplink,
+// and arrive after the player's propagation latency. A player is satisfied
+// when at least 95% of its packets arrive within its game's network latency
+// budget; continuity is the on-time packet fraction.
+package qoe
+
+import (
+	"fmt"
+	"time"
+
+	"cloudfog/internal/adapt"
+	"cloudfog/internal/game"
+	"cloudfog/internal/sched"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/stream"
+)
+
+// Options toggles the two CloudFog strategies and carries their parameters.
+type Options struct {
+	// Adaptation enables receiver-driven encoding rate adaptation.
+	Adaptation bool
+	// Scheduling enables deadline-driven sender buffer scheduling
+	// (EDF ordering + tolerance-weighted packet dropping). Disabled, the
+	// sender is a plain FIFO without drops — the CloudFog/B behavior.
+	Scheduling bool
+
+	Adapt  adapt.Config
+	Sched  sched.Config
+	Stream stream.Config
+
+	// EstimationInterval is the receiver's occupancy-calculation cadence
+	// (§III-B does not fix one; estimating every video frame makes the
+	// h₁/h₂ streaks elapse in seconds and synchronizes bitrate
+	// oscillation across players). Default: 10 frame intervals.
+	EstimationInterval time.Duration
+	// Warmup excludes the startup transient from the meters.
+	Warmup time.Duration
+	// PrebufferSegments is the receiver's startup buffer (in segments).
+	PrebufferSegments int
+	// SizeJitterSigma is the lognormal sigma of per-segment size
+	// variation around the nominal bitrate (game video mixes small
+	// P-frames with large I-frames). Zero disables jitter.
+	SizeJitterSigma float64
+	// Seed drives the per-run randomness (frame-size jitter).
+	Seed int64
+}
+
+// DefaultOptions returns both strategies enabled with paper defaults
+// (CloudFog/A).
+func DefaultOptions() Options {
+	return Options{
+		Adaptation:         true,
+		Scheduling:         true,
+		Adapt:              adapt.DefaultConfig(),
+		Sched:              sched.DefaultConfig(),
+		Stream:             stream.DefaultConfig(),
+		EstimationInterval: 10 * time.Second / 30,
+		Warmup:             5 * time.Second,
+		PrebufferSegments:  2,
+		SizeJitterSigma:    0.3,
+		Seed:               1,
+	}
+}
+
+// BasicOptions returns both strategies disabled (CloudFog/B and the
+// baselines' serving behavior).
+func BasicOptions() Options {
+	o := DefaultOptions()
+	o.Adaptation = false
+	o.Scheduling = false
+	return o
+}
+
+// PlayerSpec describes one player attached to the serving node.
+type PlayerSpec struct {
+	ID int64
+	// Game determines latency budget, loss tolerance and starting level.
+	Game game.Game
+	// Latency is the one-way serving-node → player propagation delay.
+	Latency time.Duration
+	// InboundDelay is the upstream share of the response path charged
+	// before a segment can be rendered: for a fog supernode, the
+	// cloud→supernode update latency; zero when the cloud itself serves.
+	InboundDelay time.Duration
+}
+
+// PlayerResult summarizes one player's stream after the run.
+type PlayerResult struct {
+	ID           int64
+	GameID       int
+	Continuity   float64
+	Satisfied    bool
+	MeanLatency  time.Duration // mean action→arrival latency of delivered segments
+	FinalLevel   int
+	LevelChanges int
+	Stalls       int
+	Segments     int64
+}
+
+// ServerSim simulates one serving node streaming to its players.
+type ServerSim struct {
+	engine *sim.Engine
+	opts   Options
+	buffer *sched.Buffer
+	uplink int64
+
+	sessions  []*session
+	sessionBy map[int64]*session
+	rng       *sim.Rand
+	busy      bool
+	started   bool
+}
+
+type session struct {
+	spec    PlayerSpec
+	encoder *stream.Encoder
+	ctrl    *adapt.Controller
+	recv    *stream.ReceiverBuffer
+	meter   stream.ContinuityMeter
+
+	// est is the Eq. 7 buffered-size estimator driving adaptation; the
+	// receiver measures its download rate over each estimation interval.
+	est            adapt.OccupancyEstimator
+	bytesSinceTick int
+	lastTick       time.Duration
+
+	latSum     time.Duration
+	delivered  int64
+	levelMoves int
+}
+
+// NewServerSim builds a serving-node simulation on the engine with the
+// given uplink bandwidth (bits/second).
+func NewServerSim(engine *sim.Engine, opts Options, uplink int64) (*ServerSim, error) {
+	if uplink <= 0 {
+		return nil, fmt.Errorf("qoe: non-positive uplink %d", uplink)
+	}
+	if err := opts.Stream.Validate(); err != nil {
+		return nil, err
+	}
+	schedCfg := opts.Sched
+	schedCfg.EDF = opts.Scheduling
+	schedCfg.DropEnabled = opts.Scheduling
+	return &ServerSim{
+		engine:    engine,
+		opts:      opts,
+		buffer:    sched.NewBuffer(schedCfg, opts.Stream, uplink),
+		uplink:    uplink,
+		sessionBy: make(map[int64]*session),
+		rng:       sim.NewRand(opts.Seed),
+	}, nil
+}
+
+// AddPlayer attaches a player before Start.
+func (s *ServerSim) AddPlayer(spec PlayerSpec) error {
+	if s.started {
+		return fmt.Errorf("qoe: AddPlayer after Start")
+	}
+	start := spec.Game.Quality()
+	ss := &session{
+		spec:    spec,
+		encoder: stream.NewEncoder(s.opts.Stream, spec.ID, start),
+		recv:    stream.NewReceiverBuffer(s.opts.Stream, start.Bitrate),
+	}
+	if s.opts.Adaptation {
+		ss.ctrl = adapt.NewController(s.opts.Adapt, spec.Game)
+	}
+	if _, dup := s.sessionBy[spec.ID]; dup {
+		return fmt.Errorf("qoe: duplicate player id %d", spec.ID)
+	}
+	prebuf := float64(s.opts.PrebufferSegments * s.opts.Stream.SegmentBytes(start.Bitrate))
+	ss.recv.SetPrebuffer(prebuf)
+	s.sessions = append(s.sessions, ss)
+	s.sessionBy[spec.ID] = ss
+	return nil
+}
+
+// Start schedules segment generation for every player. Generation phases
+// are staggered across the frame interval so segments do not arrive in
+// lockstep bursts.
+func (s *ServerSim) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	n := len(s.sessions)
+	if n == 0 {
+		return
+	}
+	period := s.opts.Stream.SegmentDuration
+	for i, ss := range s.sessions {
+		offset := time.Duration(int64(period) * int64(i) / int64(n))
+		ss := ss
+		s.engine.Schedule(offset, func() { s.generate(ss) })
+		if ss.ctrl != nil {
+			// Periodic receiver-side occupancy estimation (§III-B: the
+			// client calculates r a number of times consecutively).
+			s.engine.Schedule(offset, func() { s.estimate(ss) })
+		}
+	}
+}
+
+// estimate runs one receiver-driven occupancy calculation (Eq. 7: the
+// buffered-size estimate integrates download rate minus playback rate) and
+// applies any resulting encoding-level change, then schedules the next
+// calculation.
+func (s *ServerSim) estimate(ss *session) {
+	now := s.engine.Now()
+	ss.recv.Advance(now)
+	dt := (now - ss.lastTick).Seconds()
+	ss.lastTick = now
+	var downloadBits float64
+	if dt > 0 {
+		downloadBits = float64(ss.bytesSinceTick) * 8 / dt
+	}
+	ss.bytesSinceTick = 0
+	playbackBits := float64(ss.encoder.Level().Bitrate)
+	if !ss.recv.Playing() {
+		playbackBits = 0
+	}
+	ss.est.Update(now, downloadBits, playbackBits)
+	r := ss.est.Segments(s.opts.Stream.SegmentBytes(ss.encoder.Level().Bitrate))
+	switch ss.ctrl.Observe(r) {
+	case adapt.AdjustedUp, adapt.AdjustedDown:
+		lvl := ss.ctrl.Level()
+		ss.encoder.SetLevel(lvl)
+		ss.recv.SetPlaybackBitrate(lvl.Bitrate)
+		ss.levelMoves++
+	}
+	s.engine.Schedule(s.estimationInterval(), func() { s.estimate(ss) })
+}
+
+func (s *ServerSim) estimationInterval() time.Duration {
+	if s.opts.EstimationInterval > 0 {
+		return s.opts.EstimationInterval
+	}
+	return 10 * s.opts.Stream.SegmentDuration
+}
+
+// generate produces the next segment of a session and schedules the
+// following one a frame interval later.
+func (s *ServerSim) generate(ss *session) {
+	now := s.engine.Now()
+	actionTime := now - ss.spec.InboundDelay
+	seg := ss.encoder.Encode(actionTime, now, ss.spec.Game)
+	if sigma := s.opts.SizeJitterSigma; sigma > 0 {
+		// Mean-one lognormal frame-size variation: E[e^(N(-s²/2, s))] = 1.
+		mult := s.rng.LogNormal(-sigma*sigma/2, sigma)
+		seg.Bytes = int(float64(seg.Bytes) * mult)
+		if seg.Bytes < 1 {
+			seg.Bytes = 1
+		}
+		seg.Packets = (seg.Bytes + s.opts.Stream.PacketSize - 1) / s.opts.Stream.PacketSize
+	}
+	s.buffer.Enqueue(now, seg)
+	// Segments shed by the queue bound (the arrival or evicted lenient
+	// segments) are lost in full.
+	for _, ev := range s.buffer.TakeEvicted() {
+		if now >= s.opts.Warmup {
+			if owner := s.sessionFor(ev.PlayerID); owner != nil {
+				owner.meter.RecordSegment(ev, false)
+			}
+		}
+	}
+	s.pump()
+	s.engine.Schedule(s.opts.Stream.SegmentDuration, func() { s.generate(ss) })
+}
+
+// pump starts a transmission if the uplink is idle and segments are queued.
+// Fully-dropped segments never transmit, but their packets still count as
+// lost for continuity purposes.
+func (s *ServerSim) pump() {
+	if s.busy {
+		return
+	}
+	now := s.engine.Now()
+	for {
+		seg := s.buffer.DequeueAny(now)
+		if seg == nil {
+			return
+		}
+		if seg.RemainingPackets() == 0 {
+			if ss := s.sessionFor(seg.PlayerID); ss != nil && now >= s.opts.Warmup {
+				ss.meter.RecordSegment(seg, false)
+			}
+			continue
+		}
+		s.busy = true
+		tx := s.buffer.TransmissionTime(seg)
+		s.engine.Schedule(tx, func() { s.transmitted(seg) })
+		return
+	}
+}
+
+// transmitted completes a segment's uplink transmission: it is delivered to
+// the player after its propagation latency, and the uplink moves on.
+func (s *ServerSim) transmitted(seg *stream.Segment) {
+	s.busy = false
+	ss := s.sessionFor(seg.PlayerID)
+	if ss != nil {
+		prop := ss.spec.Latency
+		arrival := s.engine.Now() + prop
+		s.buffer.RecordPropagation(seg.PlayerID, prop)
+		s.engine.Schedule(prop, func() { s.deliver(ss, seg, arrival) })
+	}
+	s.pump()
+}
+
+// deliver lands a segment at the player: meters record on-time packets and
+// the receiver buffer absorbs the bytes; the adaptation controller observes
+// the new occupancy.
+func (s *ServerSim) deliver(ss *session, seg *stream.Segment, arrival time.Duration) {
+	onTime := arrival <= seg.ExpectedArrival()
+	if arrival >= s.opts.Warmup {
+		ss.meter.RecordSegment(seg, onTime)
+		ss.latSum += arrival - seg.ActionTime
+		ss.delivered++
+	}
+	n := seg.RemainingBytes(s.opts.Stream.PacketSize)
+	ss.recv.OnArrival(arrival, n)
+	ss.bytesSinceTick += n
+}
+
+func (s *ServerSim) sessionFor(id int64) *session { return s.sessionBy[id] }
+
+// Results summarizes every player after the engine has run.
+func (s *ServerSim) Results() []PlayerResult {
+	out := make([]PlayerResult, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		r := PlayerResult{
+			ID:           ss.spec.ID,
+			GameID:       ss.spec.Game.ID,
+			Continuity:   ss.meter.Continuity(),
+			Satisfied:    ss.meter.Satisfied(),
+			FinalLevel:   ss.encoder.Level().Level,
+			LevelChanges: ss.levelMoves,
+			Stalls:       ss.recv.StallCount(),
+			Segments:     ss.delivered,
+		}
+		if ss.delivered > 0 {
+			r.MeanLatency = ss.latSum / time.Duration(ss.delivered)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Summary aggregates player results.
+type Summary struct {
+	Players        int
+	MeanContinuity float64
+	SatisfiedFrac  float64
+	MeanLatency    time.Duration
+	MeanLevel      float64
+}
+
+// Summarize aggregates a result set.
+func Summarize(results []PlayerResult) Summary {
+	var s Summary
+	s.Players = len(results)
+	if s.Players == 0 {
+		return s
+	}
+	var latSum time.Duration
+	for _, r := range results {
+		s.MeanContinuity += r.Continuity
+		if r.Satisfied {
+			s.SatisfiedFrac++
+		}
+		latSum += r.MeanLatency
+		s.MeanLevel += float64(r.FinalLevel)
+	}
+	n := float64(s.Players)
+	s.MeanContinuity /= n
+	s.SatisfiedFrac /= n
+	s.MeanLevel /= n
+	s.MeanLatency = latSum / time.Duration(s.Players)
+	return s
+}
+
+// RunNode is the one-call entry: simulate a serving node with the given
+// uplink and players for the duration and return the per-player results.
+func RunNode(opts Options, uplink int64, players []PlayerSpec, duration time.Duration) ([]PlayerResult, error) {
+	engine := sim.New()
+	srv, err := NewServerSim(engine, opts, uplink)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range players {
+		if err := srv.AddPlayer(p); err != nil {
+			return nil, err
+		}
+	}
+	srv.Start()
+	engine.RunUntil(duration)
+	return srv.Results(), nil
+}

@@ -1,0 +1,283 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/sim"
+)
+
+func mustGame(t *testing.T, id int) game.Game {
+	t.Helper()
+	g, err := game.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// noJitter returns options with deterministic segment sizes so tests can
+// reason exactly.
+func noJitter(o Options) Options {
+	o.SizeJitterSigma = 0
+	return o
+}
+
+func mixedPlayers(t *testing.T, n int, seed int64) []PlayerSpec {
+	t.Helper()
+	rng := sim.NewRand(seed)
+	players := make([]PlayerSpec, n)
+	for i := range players {
+		players[i] = PlayerSpec{
+			ID:           int64(i),
+			Game:         mustGame(t, 1+rng.Intn(5)),
+			Latency:      time.Duration(8+rng.Intn(18)) * time.Millisecond,
+			InboundDelay: time.Duration(15+rng.Intn(15)) * time.Millisecond,
+		}
+	}
+	return players
+}
+
+func TestSinglePlayerHealthyStream(t *testing.T) {
+	opts := noJitter(BasicOptions())
+	p := PlayerSpec{ID: 1, Game: mustGame(t, 4), Latency: 15 * time.Millisecond, InboundDelay: 20 * time.Millisecond}
+	res, err := RunNode(opts, 25_000_000, []PlayerSpec{p}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results", len(res))
+	}
+	r := res[0]
+	if r.Continuity != 1 || !r.Satisfied {
+		t.Fatalf("healthy stream not fully continuous: %+v", r)
+	}
+	// Latency = inbound 20ms + tx (5000B at 25Mbps = 1.6ms) + prop 15ms.
+	want := 20*time.Millisecond + 1600*time.Microsecond + 15*time.Millisecond
+	if d := r.MeanLatency - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("mean latency = %v, want ~%v", r.MeanLatency, want)
+	}
+	if r.Stalls > 1 { // at most the startup prebuffer transition
+		t.Fatalf("healthy stream stalled %d times", r.Stalls)
+	}
+	// ~30 segments/s for 25 metered seconds.
+	if r.Segments < 700 || r.Segments > 910 {
+		t.Fatalf("delivered %d segments, want ~750-900", r.Segments)
+	}
+}
+
+func TestInfeasibleBudgetNeverSatisfied(t *testing.T) {
+	opts := noJitter(BasicOptions())
+	// Game 1 has a 30ms budget; inbound alone is 40ms.
+	p := PlayerSpec{ID: 1, Game: mustGame(t, 1), Latency: 10 * time.Millisecond, InboundDelay: 40 * time.Millisecond}
+	res, err := RunNode(opts, 25_000_000, []PlayerSpec{p}, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Continuity != 0 || res[0].Satisfied {
+		t.Fatalf("infeasible stream reported continuity %v", res[0].Continuity)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Summary {
+		res, err := RunNode(DefaultOptions(), 20_000_000, mixedPlayers(t, 20, 7), 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(res)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestOverloadCollapsesBasic(t *testing.T) {
+	players := mixedPlayers(t, 25, 42)
+	res, err := RunNode(BasicOptions(), 20_000_000, players, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if s.SatisfiedFrac > 0.2 {
+		t.Fatalf("basic FIFO at overload kept satisfaction %.2f", s.SatisfiedFrac)
+	}
+	// The bounded sender queue turns overload into loss plus bounded
+	// delay: latency sits near the 100ms queue bound, and continuity
+	// falls well below healthy levels.
+	if s.MeanLatency < 50*time.Millisecond {
+		t.Fatalf("overloaded queue latency %v below the queue bound", s.MeanLatency)
+	}
+	if s.MeanContinuity > 0.5 {
+		t.Fatalf("overload kept continuity %.2f", s.MeanContinuity)
+	}
+}
+
+// TestAdaptationImprovesOverload mirrors Figure 10: at high players-per-
+// supernode, enabling the encoding rate adaptation recovers continuity that
+// CloudFog/B loses.
+func TestAdaptationImprovesOverload(t *testing.T) {
+	players := mixedPlayers(t, 25, 42)
+	basic, err := RunNode(BasicOptions(), 20_000_000, players, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := BasicOptions()
+	opts.Adaptation = true
+	adapted, err := RunNode(opts, 20_000_000, players, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, a := Summarize(basic), Summarize(adapted)
+	if a.MeanContinuity <= b.MeanContinuity+0.1 {
+		t.Fatalf("adaptation gain too small: basic %.2f vs adapted %.2f",
+			b.MeanContinuity, a.MeanContinuity)
+	}
+	if a.MeanLevel >= 3.0 {
+		t.Fatalf("adaptation did not lower encoding levels under overload: %.2f", a.MeanLevel)
+	}
+}
+
+// TestSchedulingImprovesOverload mirrors Figure 11: deadline-driven buffer
+// scheduling raises satisfaction under load relative to FIFO.
+func TestSchedulingImprovesOverload(t *testing.T) {
+	players := mixedPlayers(t, 25, 42)
+	basic, err := RunNode(BasicOptions(), 20_000_000, players, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := BasicOptions()
+	opts.Scheduling = true
+	sched, err := RunNode(opts, 20_000_000, players, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, s := Summarize(basic), Summarize(sched)
+	if s.SatisfiedFrac <= b.SatisfiedFrac {
+		t.Fatalf("scheduling did not improve satisfaction: basic %.2f vs sched %.2f",
+			b.SatisfiedFrac, s.SatisfiedFrac)
+	}
+	if s.MeanContinuity <= b.MeanContinuity {
+		t.Fatalf("scheduling did not improve continuity: basic %.2f vs sched %.2f",
+			b.MeanContinuity, s.MeanContinuity)
+	}
+}
+
+// TestFullStrategiesBeatBasicUnderLoad checks CloudFog/A vs CloudFog/B.
+func TestFullStrategiesBeatBasicUnderLoad(t *testing.T) {
+	players := mixedPlayers(t, 25, 42)
+	basic, err := RunNode(BasicOptions(), 20_000_000, players, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunNode(DefaultOptions(), 20_000_000, players, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, f := Summarize(basic), Summarize(full)
+	if f.SatisfiedFrac <= b.SatisfiedFrac {
+		t.Fatalf("CloudFog/A (%.2f) did not beat CloudFog/B (%.2f)",
+			f.SatisfiedFrac, b.SatisfiedFrac)
+	}
+}
+
+func TestLightLoadAllVariantsAgree(t *testing.T) {
+	// Below saturation, the strategies should not hurt.
+	players := mixedPlayers(t, 5, 42)
+	basic, _ := RunNode(noJitter(BasicOptions()), 25_000_000, players, 30*time.Second)
+	full, _ := RunNode(noJitter(DefaultOptions()), 25_000_000, players, 30*time.Second)
+	b, f := Summarize(basic), Summarize(full)
+	if f.SatisfiedFrac < b.SatisfiedFrac-0.01 {
+		t.Fatalf("strategies hurt light load: basic %.2f vs full %.2f",
+			b.SatisfiedFrac, f.SatisfiedFrac)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	engine := sim.New()
+	if _, err := NewServerSim(engine, DefaultOptions(), 0); err == nil {
+		t.Fatal("zero uplink accepted")
+	}
+	bad := DefaultOptions()
+	bad.Stream.PacketSize = 0
+	if _, err := NewServerSim(engine, bad, 1_000_000); err == nil {
+		t.Fatal("invalid stream config accepted")
+	}
+	srv, err := NewServerSim(engine, DefaultOptions(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PlayerSpec{ID: 1, Game: mustGame(t, 3)}
+	if err := srv.AddPlayer(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddPlayer(p); err == nil {
+		t.Fatal("duplicate player accepted")
+	}
+	srv.Start()
+	if err := srv.AddPlayer(PlayerSpec{ID: 2, Game: mustGame(t, 3)}); err == nil {
+		t.Fatal("AddPlayer after Start accepted")
+	}
+}
+
+func TestEmptyServerRuns(t *testing.T) {
+	engine := sim.New()
+	srv, err := NewServerSim(engine, DefaultOptions(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	engine.RunUntil(time.Second)
+	if len(srv.Results()) != 0 {
+		t.Fatal("empty server produced results")
+	}
+}
+
+func TestSummarizeArithmetic(t *testing.T) {
+	res := []PlayerResult{
+		{Continuity: 1.0, Satisfied: true, MeanLatency: 40 * time.Millisecond, FinalLevel: 4},
+		{Continuity: 0.5, Satisfied: false, MeanLatency: 80 * time.Millisecond, FinalLevel: 2},
+	}
+	s := Summarize(res)
+	if s.Players != 2 || math.Abs(s.MeanContinuity-0.75) > 1e-12 ||
+		math.Abs(s.SatisfiedFrac-0.5) > 1e-12 || s.MeanLatency != 60*time.Millisecond ||
+		math.Abs(s.MeanLevel-3) > 1e-12 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if z := Summarize(nil); z.Players != 0 {
+		t.Fatal("empty summarize wrong")
+	}
+}
+
+func TestWarmupExcludesStartup(t *testing.T) {
+	// A stream that only runs during warmup delivers zero metered segments.
+	opts := noJitter(BasicOptions())
+	opts.Warmup = time.Hour
+	p := PlayerSpec{ID: 1, Game: mustGame(t, 4), Latency: 10 * time.Millisecond}
+	res, err := RunNode(opts, 25_000_000, []PlayerSpec{p}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Segments != 0 {
+		t.Fatalf("%d segments metered during warmup", res[0].Segments)
+	}
+	if res[0].Continuity != 1 {
+		t.Fatal("unmetered stream should report continuity 1")
+	}
+}
+
+func TestJitterPreservesMeanDemand(t *testing.T) {
+	// With mean-one jitter, a stream near 50% utilization stays healthy.
+	opts := DefaultOptions()
+	p := PlayerSpec{ID: 1, Game: mustGame(t, 4), Latency: 10 * time.Millisecond, InboundDelay: 20 * time.Millisecond}
+	res, err := RunNode(opts, 2_400_000, []PlayerSpec{p}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Continuity < 0.9 {
+		t.Fatalf("mild jitter broke a half-utilized stream: continuity %v", res[0].Continuity)
+	}
+}

@@ -1,0 +1,491 @@
+// Package sched implements CloudFog's deadline-driven sender buffer
+// scheduling (paper §III-C, Eqs. 12-14, Fig. 4).
+//
+// A supernode has a single queuing buffer for the video segments of all the
+// players it supports. Segments are kept in ascending order of expected
+// arrival time t_a = t_m + L̃_r (earliest deadline first), so tight-deadline
+// games transmit first. When a segment's estimated response latency
+// (Eq. 12) exceeds its game's requirement, the supernode drops packets from
+// that segment and the segments queued ahead of it, splitting the D_i
+// packets to drop proportionally to each segment's loss tolerance L̃_t
+// weighted by an exponential decay φ = e^{-λt} of its queue waiting time
+// (Eq. 14) — older segments, which already shed packets in earlier rounds,
+// are protected from repeated dropping.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cloudfog/internal/stream"
+)
+
+// Config parameterizes the scheduler. Zero-value fields are replaced by
+// defaults in NewBuffer.
+type Config struct {
+	// Lambda is the decay rate λ (per second) of φ = e^{-λt} in Eq. 14.
+	// The paper's default is 1.
+	Lambda float64
+	// PropWindow is m: how many recently sent packets' propagation delays
+	// feed the per-player propagation estimate (Eq. 13). Default 10.
+	PropWindow int
+	// EDF orders the queue by expected arrival time. Disabled, the buffer
+	// degenerates to FIFO — kept as an ablation switch.
+	EDF bool
+	// DropEnabled enables deadline-driven packet dropping. Disabled, the
+	// buffer only reorders — the second ablation switch.
+	DropEnabled bool
+	// UniformDrop replaces Eq. 14's tolerance-and-decay weighting with
+	// equal weights across segments — an ablation of the drop policy.
+	UniformDrop bool
+	// MaxQueueDelay bounds the queue: the buffer holds at most
+	// MaxQueueDelay × bandwidth bytes, and segments arriving at a full
+	// buffer are tail-dropped. A supernode's single queuing buffer
+	// (paper ref [23], an adaptive congestion-control scheme) is
+	// bounded; an unbounded queue would turn overload into seconds of
+	// delay instead of loss. Zero means unbounded.
+	MaxQueueDelay time.Duration
+}
+
+// DefaultConfig returns the paper's defaults: λ = 1, m = 10, EDF ordering
+// and deadline-driven dropping both enabled.
+func DefaultConfig() Config {
+	return Config{Lambda: 1, PropWindow: 10, EDF: true, DropEnabled: true,
+		MaxQueueDelay: 40 * time.Millisecond}
+}
+
+// Buffer is one supernode's sender-side segment queue.
+type Buffer struct {
+	cfg       Config
+	streamCfg stream.Config
+	bandwidth float64 // uplink λ_r in bits/second
+	queue     []*stream.Segment
+	maxBytes  int // 0 = unbounded
+	evicted   []*stream.Segment
+	prop      map[int64]*propEstimator
+
+	// Counters for metrics.
+	enqueued        int64
+	sentSegments    int64
+	droppedPackets  int64
+	fullyDropped    int64
+	tailDropped     int64
+	deadlineActions int64
+}
+
+// NewBuffer returns a sender buffer draining at the given uplink bandwidth
+// (bits per second).
+func NewBuffer(cfg Config, streamCfg stream.Config, bandwidthBits int64) *Buffer {
+	if bandwidthBits <= 0 {
+		panic(fmt.Sprintf("sched: non-positive bandwidth %d", bandwidthBits))
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1
+	}
+	if cfg.PropWindow == 0 {
+		cfg.PropWindow = 10
+	}
+	maxBytes := 0
+	if cfg.MaxQueueDelay > 0 {
+		maxBytes = int(float64(bandwidthBits) * cfg.MaxQueueDelay.Seconds() / 8)
+	}
+	return &Buffer{
+		cfg:       cfg,
+		streamCfg: streamCfg,
+		bandwidth: float64(bandwidthBits),
+		maxBytes:  maxBytes,
+		prop:      make(map[int64]*propEstimator),
+	}
+}
+
+// Len returns the number of segments queued.
+func (b *Buffer) Len() int { return len(b.queue) }
+
+// QueuedBytes returns the remaining (undropped) bytes queued.
+func (b *Buffer) QueuedBytes() int {
+	total := 0
+	for _, s := range b.queue {
+		total += s.RemainingBytes(b.streamCfg.PacketSize)
+	}
+	return total
+}
+
+// TailDropped returns how many whole segments were shed by the queue bound
+// (rejected arrivals plus evictions).
+func (b *Buffer) TailDropped() int64 { return b.tailDropped }
+
+// TakeEvicted returns the segments shed by the queue bound since the last
+// call, so callers can account their packets as lost.
+func (b *Buffer) TakeEvicted() []*stream.Segment {
+	out := b.evicted
+	b.evicted = nil
+	return out
+}
+
+// Bandwidth returns the uplink rate λ_r in bits per second.
+func (b *Buffer) Bandwidth() int64 { return int64(b.bandwidth) }
+
+// Stats reports scheduler counters: segments enqueued and sent, packets
+// dropped by the deadline policy, segments whose packets were all dropped,
+// and how many deadline-violation repairs ran.
+func (b *Buffer) Stats() (enqueued, sent, droppedPackets, fullyDropped, repairs int64) {
+	return b.enqueued, b.sentSegments, b.droppedPackets, b.fullyDropped, b.deadlineActions
+}
+
+// RecordPropagation feeds one measured packet propagation delay for a
+// player into the Eq. 13 estimator.
+func (b *Buffer) RecordPropagation(playerID int64, d time.Duration) {
+	est, ok := b.prop[playerID]
+	if !ok {
+		est = newPropEstimator(b.cfg.PropWindow)
+		b.prop[playerID] = est
+	}
+	est.record(d)
+}
+
+// PropagationEstimate returns l_p for a player: the mean of the last m
+// recorded packet propagation delays (Eq. 13), or zero if none recorded.
+func (b *Buffer) PropagationEstimate(playerID int64) time.Duration {
+	if est, ok := b.prop[playerID]; ok {
+		return est.mean()
+	}
+	return 0
+}
+
+// ForgetPlayer discards the propagation history of a departed player.
+func (b *Buffer) ForgetPlayer(playerID int64) { delete(b.prop, playerID) }
+
+// Enqueue inserts a segment (EDF by expected arrival time, or FIFO when the
+// ablation switch is off) and, if dropping is enabled, repairs any deadline
+// violations the insertion reveals by dropping packets per Eq. 14.
+//
+// A full buffer sheds load: in FIFO mode the arriving segment is
+// tail-dropped; in EDF mode the buffer evicts latest-deadline segments
+// first (urgent video is worth more than lenient video that would miss its
+// deadline anyway), which may or may not include the arriving segment.
+// Enqueue reports whether the arriving segment was accepted; evicted
+// segments (including a rejected arrival) are retrievable once via
+// TakeEvicted so callers can account their packets as lost.
+func (b *Buffer) Enqueue(now time.Duration, seg *stream.Segment) bool {
+	seg.Enqueued = now
+	b.enqueued++
+	if b.maxBytes > 0 {
+		segBytes := seg.RemainingBytes(b.streamCfg.PacketSize)
+		for b.QueuedBytes()+segBytes > b.maxBytes {
+			if !b.cfg.EDF || len(b.queue) == 0 ||
+				b.queue[len(b.queue)-1].ExpectedArrival() <= seg.ExpectedArrival() {
+				// The arrival is the most expendable segment.
+				b.tailDropped++
+				b.evicted = append(b.evicted, seg)
+				return false
+			}
+			tail := b.queue[len(b.queue)-1]
+			b.queue[len(b.queue)-1] = nil
+			b.queue = b.queue[:len(b.queue)-1]
+			b.tailDropped++
+			b.evicted = append(b.evicted, tail)
+		}
+	}
+	at := len(b.queue)
+	if b.cfg.EDF {
+		// Insert in ascending order of expected arrival time; ties keep
+		// insertion order (stable with respect to earlier segments).
+		at = sort.Search(len(b.queue), func(i int) bool {
+			return b.queue[i].ExpectedArrival() > seg.ExpectedArrival()
+		})
+		b.queue = append(b.queue, nil)
+		copy(b.queue[at+1:], b.queue[at:])
+		b.queue[at] = seg
+	} else {
+		b.queue = append(b.queue, seg)
+	}
+	if b.cfg.DropEnabled {
+		b.repairDeadlines(now, at)
+	}
+	return true
+}
+
+// Dequeue removes and returns the head segment with at least one surviving
+// packet, or nil if the buffer is empty. Segments whose packets were all
+// dropped are discarded (and counted) without being returned.
+func (b *Buffer) Dequeue(now time.Duration) *stream.Segment {
+	for {
+		seg := b.DequeueAny(now)
+		if seg == nil {
+			return nil
+		}
+		if seg.RemainingPackets() > 0 {
+			return seg
+		}
+	}
+}
+
+// DequeueAny removes and returns the head segment even when all of its
+// packets were dropped, so callers can account the loss (a fully-dropped
+// segment's packets still count against playback continuity). It returns
+// nil when the buffer is empty.
+func (b *Buffer) DequeueAny(now time.Duration) *stream.Segment {
+	if len(b.queue) == 0 {
+		return nil
+	}
+	seg := b.queue[0]
+	b.queue[0] = nil
+	b.queue = b.queue[1:]
+	if seg.RemainingPackets() <= 0 {
+		b.fullyDropped++
+	} else {
+		b.sentSegments++
+	}
+	return seg
+}
+
+// Peek returns the head segment without removing it, or nil.
+func (b *Buffer) Peek() *stream.Segment {
+	if len(b.queue) == 0 {
+		return nil
+	}
+	return b.queue[0]
+}
+
+// TransmissionTime returns l_t for a segment at the buffer's uplink rate:
+// remaining bytes divided by λ_r.
+func (b *Buffer) TransmissionTime(seg *stream.Segment) time.Duration {
+	bytes := seg.RemainingBytes(b.streamCfg.PacketSize)
+	return time.Duration(float64(bytes) * 8 / b.bandwidth * float64(time.Second))
+}
+
+// packetTime is σ: the average latency reduced by dropping one packet — one
+// packet's transmission time at the uplink rate.
+func (b *Buffer) packetTime() time.Duration {
+	return time.Duration(float64(b.streamCfg.PacketSize) * 8 / b.bandwidth * float64(time.Second))
+}
+
+// EstimateResponseLatency implements Eq. 12 for the segment at queue
+// position idx: the time already elapsed since the player's action (which
+// covers the server receiving delay l_r and processing l_s), plus queueing
+// delay l_q = np_i/λ_r for the bytes ahead of it, transmission l_t, and the
+// estimated propagation l_p to its player.
+func (b *Buffer) EstimateResponseLatency(now time.Duration, idx int) time.Duration {
+	if idx < 0 || idx >= len(b.queue) {
+		panic(fmt.Sprintf("sched: index %d out of range [0,%d)", idx, len(b.queue)))
+	}
+	seg := b.queue[idx]
+	elapsed := now - seg.ActionTime
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	var precedingBytes int
+	for _, p := range b.queue[:idx] {
+		precedingBytes += p.RemainingBytes(b.streamCfg.PacketSize)
+	}
+	lq := time.Duration(float64(precedingBytes) * 8 / b.bandwidth * float64(time.Second))
+	lt := b.TransmissionTime(seg)
+	lp := b.PropagationEstimate(seg.PlayerID)
+	return elapsed + lq + lt + lp
+}
+
+// repairDeadlines scans the queue head-to-tail; for each segment whose
+// estimated response latency exceeds its requirement it computes the packet
+// deficit D_i = (L_r - L̃_r)/σ and distributes drops over the segment and
+// its predecessors per Eq. 14, capped by each segment's loss-tolerance
+// budget. Earlier repairs shrink preceding segments, so later estimates see
+// the improvement.
+func (b *Buffer) repairDeadlines(now time.Duration, from int) {
+	sigma := b.packetTime()
+	if sigma <= 0 {
+		return
+	}
+	// Only segments at or after the insertion point can have become late:
+	// an EDF insert does not delay anything queued ahead of it. Single
+	// pass with running prefix sums of preceding bytes and remaining drop
+	// budget; dropAcross only runs when the prefix can actually shed
+	// packets, which keeps steady-state overload (budgets exhausted) at
+	// O(queue) per enqueue instead of O(queue²).
+	precedingBytes := 0
+	budgetAhead := 0
+	for _, p := range b.queue[:from] {
+		precedingBytes += p.RemainingBytes(b.streamCfg.PacketSize)
+		budgetAhead += p.DropBudget()
+	}
+	for i := from; i < len(b.queue); i++ {
+		seg := b.queue[i]
+		elapsed := now - seg.ActionTime
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		lq := time.Duration(float64(precedingBytes) * 8 / b.bandwidth * float64(time.Second))
+		lt := b.TransmissionTime(seg)
+		lp := b.PropagationEstimate(seg.PlayerID)
+		lr := elapsed + lq + lt + lp
+		// Dropping queued packets only shrinks l_q and l_t; a segment whose
+		// elapsed time plus propagation already exceeds its requirement is
+		// late no matter what, and shedding other players' packets for it
+		// would be pure loss.
+		salvageable := elapsed+lp < seg.LatencyReq
+		if lr > seg.LatencyReq && salvageable && budgetAhead+seg.DropBudget() > 0 {
+			deficit := int(math.Ceil(float64(lr-seg.LatencyReq) / float64(sigma)))
+			if deficit > 0 {
+				b.deadlineActions++
+				b.dropAcross(now, i, deficit)
+				// Recompute the prefix up to i after drops.
+				precedingBytes, budgetAhead = 0, 0
+				for _, p := range b.queue[:i] {
+					precedingBytes += p.RemainingBytes(b.streamCfg.PacketSize)
+					budgetAhead += p.DropBudget()
+				}
+			}
+		}
+		precedingBytes += seg.RemainingBytes(b.streamCfg.PacketSize)
+		budgetAhead += seg.DropBudget()
+	}
+}
+
+// dropAcross drops up to deficit packets across queue[0..i] following
+// Eq. 14: segment k's share is proportional to L̃_t_k × φ_k with
+// φ_k = e^{-λ t_k} (t_k = time waited in queue), subject to each segment's
+// loss-tolerance budget. Shares are integerized by largest remainder so the
+// allocated total matches the deficit whenever budgets allow.
+func (b *Buffer) dropAcross(now time.Duration, i, deficit int) {
+	segs := b.queue[:i+1]
+	weights := make([]float64, len(segs))
+	budgets := make([]int, len(segs))
+	for k, s := range segs {
+		if b.cfg.UniformDrop {
+			weights[k] = 1
+		} else {
+			waited := (now - s.Enqueued).Seconds()
+			if waited < 0 {
+				waited = 0
+			}
+			phi := math.Exp(-b.cfg.Lambda * waited)
+			weights[k] = s.LossTolerance * phi
+		}
+		budgets[k] = s.DropBudget()
+	}
+	alloc := AllocateDrops(weights, budgets, deficit)
+	for k, d := range alloc {
+		if d > 0 {
+			segs[k].Dropped += d
+			b.droppedPackets += int64(d)
+		}
+	}
+}
+
+// AllocateDrops splits a total of `deficit` packet drops across segments
+// with the given Eq. 14 weights, capping each segment at its budget and
+// redistributing capped remainder among the rest. Fractional shares are
+// integerized by largest remainder. It returns the per-segment allocation;
+// the sum may fall short of deficit when budgets are exhausted.
+func AllocateDrops(weights []float64, budgets []int, deficit int) []int {
+	n := len(weights)
+	if len(budgets) != n {
+		panic("sched: AllocateDrops weight/budget length mismatch")
+	}
+	alloc := make([]int, n)
+	remaining := deficit
+	active := make([]bool, n)
+	for k := range active {
+		active[k] = budgets[k] > 0 && weights[k] > 0
+	}
+	// Iterate: proportional share, cap at budget, redistribute.
+	for remaining > 0 {
+		totalW := 0.0
+		for k := range weights {
+			if active[k] {
+				totalW += weights[k]
+			}
+		}
+		if totalW <= 0 {
+			break
+		}
+		type share struct {
+			k    int
+			frac float64
+		}
+		whole := 0
+		shares := make([]share, 0, n)
+		add := make([]int, n)
+		for k := range weights {
+			if !active[k] {
+				continue
+			}
+			exact := float64(remaining) * weights[k] / totalW
+			w := int(math.Floor(exact))
+			room := budgets[k] - alloc[k]
+			if w > room {
+				w = room
+			}
+			add[k] = w
+			whole += w
+			if w < room {
+				shares = append(shares, share{k, exact - math.Floor(exact)})
+			}
+		}
+		// Largest-remainder distribution of the leftover units.
+		leftover := remaining - whole
+		sort.Slice(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
+		for _, s := range shares {
+			if leftover == 0 {
+				break
+			}
+			if alloc[s.k]+add[s.k] < budgets[s.k] {
+				add[s.k]++
+				leftover--
+			}
+		}
+		progressed := false
+		for k := range add {
+			if add[k] > 0 {
+				alloc[k] += add[k]
+				remaining -= add[k]
+				progressed = true
+			}
+			if alloc[k] >= budgets[k] {
+				active[k] = false
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}
+
+// propEstimator keeps the last m propagation samples (Eq. 13).
+type propEstimator struct {
+	window  int
+	samples []time.Duration
+	next    int
+	full    bool
+	sum     time.Duration
+}
+
+func newPropEstimator(window int) *propEstimator {
+	return &propEstimator{window: window, samples: make([]time.Duration, window)}
+}
+
+func (p *propEstimator) record(d time.Duration) {
+	if p.full {
+		p.sum -= p.samples[p.next]
+	}
+	p.samples[p.next] = d
+	p.sum += d
+	p.next++
+	if p.next == p.window {
+		p.next = 0
+		p.full = true
+	}
+}
+
+func (p *propEstimator) mean() time.Duration {
+	n := p.next
+	if p.full {
+		n = p.window
+	}
+	if n == 0 {
+		return 0
+	}
+	return p.sum / time.Duration(n)
+}

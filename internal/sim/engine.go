@@ -1,0 +1,212 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine replaces the PeerSim simulator used in the CloudFog paper: it
+// maintains a virtual clock and a priority queue of timestamped events, and
+// executes events in time order. Ties are broken by scheduling order, so a
+// run with a fixed seed is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // position in the heap; -1 once popped or canceled
+	canceled bool
+}
+
+// At returns the virtual time the event is scheduled to fire.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired or was already canceled is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Engine is a single-threaded discrete-event scheduler with a virtual clock.
+// The zero value is not ready to use; call New.
+type Engine struct {
+	now      time.Duration
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	stopped  bool
+}
+
+// New returns an engine with the clock at zero and an empty event queue.
+func New() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Executed returns the number of events that have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule queues fn to run after delay from the current virtual time.
+// A negative delay is treated as zero. It panics if fn is nil.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t. Times in the past
+// are clamped to the current time. It panics if fn is nil.
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It returns false when the queue holds no runnable events.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to deadline. Events scheduled beyond deadline remain queued.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.queue.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes the active Run or RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Every schedules fn to run repeatedly with the given period, starting one
+// period from now, until the returned Ticker is stopped or the run ends.
+func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker re-schedules a callback at a fixed virtual-time period.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	fn      func()
+	pending *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. The callback never runs again after Stop.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Cancel()
+	}
+}
+
+// eventQueue is a binary min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// peek returns the earliest runnable event without removing it, discarding
+// any canceled events found at the heap root along the way.
+func (q *eventQueue) peek() *Event {
+	for q.Len() > 0 && (*q)[0].canceled {
+		heap.Pop(q)
+	}
+	if q.Len() == 0 {
+		return nil
+	}
+	return (*q)[0]
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineBreaksTiesByScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break violated at position %d: %v", i, order)
+		}
+	}
+}
+
+func TestEngineClockAdvancesDuringEvent(t *testing.T) {
+	e := New()
+	var sawNow time.Duration
+	e.Schedule(42*time.Millisecond, func() { sawNow = e.Now() })
+	e.Run()
+	if sawNow != 42*time.Millisecond {
+		t.Fatalf("Now() inside event = %v, want 42ms", sawNow)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	e.Schedule(10*time.Millisecond, func() {
+		e.Schedule(5*time.Millisecond, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != 15*time.Millisecond {
+		t.Fatalf("nested event fired at %v, want [15ms]", fired)
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.Schedule(time.Millisecond, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("canceled event still ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	var ran []time.Duration
+	for _, d := range []time.Duration{5, 10, 15, 20} {
+		d := d * time.Millisecond
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(12 * time.Millisecond)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events, want 2 (5ms, 10ms): %v", len(ran), ran)
+	}
+	if e.Now() != 12*time.Millisecond {
+		t.Fatalf("clock = %v, want 12ms", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("remaining events did not run: %v", ran)
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := New()
+	e.RunUntil(time.Second)
+	if e.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+}
+
+func TestRunUntilSkipsCanceledRoot(t *testing.T) {
+	e := New()
+	ev := e.Schedule(5*time.Millisecond, func() { t.Fatal("canceled event ran") })
+	ran := false
+	e.Schedule(10*time.Millisecond, func() { ran = true })
+	ev.Cancel()
+	e.RunUntil(20 * time.Millisecond)
+	if !ran {
+		t.Fatal("live event after canceled root did not run")
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := New()
+	var ticks []time.Duration
+	tk := e.Every(10*time.Millisecond, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	tk.Stop()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopPreventsFurtherTicks(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Millisecond, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.Schedule(10*time.Millisecond, func() {})
+	e.Run()
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after Stop, want 2", count)
+	}
+}
+
+func TestScheduleNegativeDelayClampsToNow(t *testing.T) {
+	e := New()
+	e.Schedule(10*time.Millisecond, func() {
+		ev := e.Schedule(-5*time.Millisecond, func() {})
+		if ev.At() != e.Now() {
+			t.Fatalf("negative delay scheduled at %v, want %v", ev.At(), e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestScheduleAtPastClampsToNow(t *testing.T) {
+	e := New()
+	e.Schedule(10*time.Millisecond, func() {
+		ev := e.ScheduleAt(time.Millisecond, func() {})
+		if ev.At() != 10*time.Millisecond {
+			t.Fatalf("past event scheduled at %v, want now (10ms)", ev.At())
+		}
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestExecutedCountsFiredEvents(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	canceled := e.Schedule(time.Millisecond, func() {})
+	canceled.Cancel()
+	e.Run()
+	if e.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int {
+		e := New()
+		r := NewRand(7)
+		var out []int
+		var spawn func()
+		spawn = func() {
+			out = append(out, r.Intn(1000))
+			if len(out) < 50 {
+				e.Schedule(r.Exp(10), spawn)
+			}
+		}
+		e.Schedule(0, spawn)
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

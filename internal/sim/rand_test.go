@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestExpMeanMatchesRate(t *testing.T) {
+	r := NewRand(1)
+	const rate = 5.0 // 5 events/sec => mean 200ms
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / n
+	if mean < 180*time.Millisecond || mean > 220*time.Millisecond {
+		t.Fatalf("Exp(5) mean = %v, want ~200ms", mean)
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewRand(1).Exp(0)
+}
+
+func TestParetoRespectsScale(t *testing.T) {
+	r := NewRand(2)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(3, 2); v < 3 {
+			t.Fatalf("Pareto(3,2) = %v below scale", v)
+		}
+	}
+}
+
+func TestParetoMeanAlpha2(t *testing.T) {
+	// Pareto(xm=1, alpha=2) has mean alpha*xm/(alpha-1) = 2.
+	r := NewRand(3)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Pareto(1, 2)
+	}
+	mean := sum / n
+	if mean < 1.8 || mean > 2.2 {
+		t.Fatalf("Pareto(1,2) mean = %v, want ~2", mean)
+	}
+}
+
+func TestBoundedParetoStaysInBounds(t *testing.T) {
+	r := NewRand(4)
+	for i := 0; i < 20000; i++ {
+		v := r.BoundedPareto(1, 150, 1)
+		if v < 1 || v > 150 {
+			t.Fatalf("BoundedPareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestCapacityParetoMeanNearFive(t *testing.T) {
+	// The paper's node capacities follow a Pareto with mean 5 (alpha = 1);
+	// our bounded calibration targets lo*hi/(hi-lo)*ln(hi/lo) ~= 5.04.
+	r := NewRand(5)
+	sum := 0.0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		sum += r.CapacityPareto()
+	}
+	mean := sum / n
+	if mean < 4.5 || mean > 5.6 {
+		t.Fatalf("CapacityPareto mean = %v, want ~5", mean)
+	}
+}
+
+func TestPowerLawIntBoundsProperty(t *testing.T) {
+	r := NewRand(6)
+	f := func(seed int64) bool {
+		rr := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := rr.PowerLawInt(1, 100, 0.5)
+			if v < 1 || v > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r.Rand}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawIntSkewFavorsSmallValues(t *testing.T) {
+	r := NewRand(7)
+	small, large := 0, 0
+	for i := 0; i < 50000; i++ {
+		v := r.PowerLawInt(1, 100, 0.5)
+		if v <= 10 {
+			small++
+		} else if v > 90 {
+			large++
+		}
+	}
+	if small <= large {
+		t.Fatalf("power law not skewed: %d small vs %d large", small, large)
+	}
+}
+
+func TestPowerLawIntDegenerateRange(t *testing.T) {
+	r := NewRand(8)
+	if v := r.PowerLawInt(7, 7, 0.5); v != 7 {
+		t.Fatalf("PowerLawInt(7,7) = %d, want 7", v)
+	}
+}
+
+func TestPowerLawIntSkewOne(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.PowerLawInt(1, 50, 1)
+		if v < 1 || v > 50 {
+			t.Fatalf("PowerLawInt skew=1 out of bounds: %d", v)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	// Median of LogNormal(mu, sigma) is e^mu.
+	r := NewRand(10)
+	const n = 100000
+	above := 0
+	for i := 0; i < n; i++ {
+		if r.LogNormal(1, 0.5) > math.E {
+			above++
+		}
+	}
+	frac := float64(above) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("LogNormal median check: %.3f above e^mu, want ~0.5", frac)
+	}
+}
+
+func TestUniformDurationRange(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		v := r.UniformDuration(2*time.Hour, 5*time.Hour)
+		if v <= 2*time.Hour-time.Nanosecond || v > 5*time.Hour {
+			t.Fatalf("UniformDuration out of (2h,5h]: %v", v)
+		}
+	}
+}
+
+func TestSessionDurationMixture(t *testing.T) {
+	r := NewRand(12)
+	var short, mid, long int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d := r.SessionDuration()
+		switch {
+		case d <= 2*time.Hour:
+			short++
+		case d <= 5*time.Hour:
+			mid++
+		case d <= 24*time.Hour:
+			long++
+		default:
+			t.Fatalf("session duration out of range: %v", d)
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.01 {
+			t.Fatalf("%s sessions = %.3f, want ~%.2f", name, frac, want)
+		}
+	}
+	check("short", short, 0.5)
+	check("mid", mid, 0.3)
+	check("long", long, 0.2)
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewRand(13)
+	b := a.Fork()
+	c := a.Fork()
+	// Two forks from the same parent must produce different streams.
+	same := true
+	for i := 0; i < 10; i++ {
+		if b.Int63() != c.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forked streams are identical")
+	}
+}
+
+func TestForkDeterminism(t *testing.T) {
+	seq := func() []int64 {
+		r := NewRand(99).Fork()
+		out := make([]int64, 5)
+		for i := range out {
+			out[i] = r.Int63()
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Fork is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"cloudfog/internal/experiment"
+	"cloudfog/internal/geo"
+	"cloudfog/internal/trace"
+)
+
+// fastModel returns a latency model with small absolute delays so real
+// sleeps keep the test quick, while preserving the model's structure.
+func fastModel(seed int64) trace.Model {
+	m := trace.DefaultModel(seed)
+	m.AccessMedian = 2 * time.Millisecond
+	m.SupernodeAccessMedian = 1 * time.Millisecond
+	m.NoiseMedian = 4 * time.Millisecond
+	m.Base = 500 * time.Microsecond
+	return m
+}
+
+func testEndpoints(n int) []trace.Endpoint {
+	eps := make([]trace.Endpoint, n)
+	for i := range eps {
+		class := trace.ClassNode
+		if i == 0 {
+			class = trace.ClassDatacenter
+		}
+		eps[i] = trace.Endpoint{
+			ID:    trace.NodeID(i),
+			Pos:   geo.Point{X: float64(i * 100), Y: 500},
+			Class: class,
+		}
+	}
+	return eps
+}
+
+func TestProbeMeasuresInjectedDelay(t *testing.T) {
+	model := fastModel(1)
+	eps := testEndpoints(4)
+	c, err := Start(model, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	want := model.OneWay(eps[1], eps[2])
+	got, err := c.Probe(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real sockets add some overhead; the measurement must sit near the
+	// injected delay (within 40% + 5ms of slack for CI scheduling).
+	lo := want - 5*time.Millisecond
+	hi := want + want*2/5 + 5*time.Millisecond
+	if got < lo || got > hi {
+		t.Fatalf("probe = %v, injected %v", got, want)
+	}
+}
+
+func TestProbeUnknownEndpoint(t *testing.T) {
+	c, err := Start(fastModel(2), testEndpoints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Probe(0, 99); err == nil {
+		t.Fatal("probe to unknown endpoint succeeded")
+	}
+	if _, err := c.Probe(99, 0); err == nil {
+		t.Fatal("probe from unknown endpoint succeeded")
+	}
+}
+
+func TestOneWayCaches(t *testing.T) {
+	c, err := Start(fastModel(3), testEndpoints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	eps := testEndpoints(3)
+	v1 := c.OneWay(eps[0], eps[1])
+	probesAfterFirst := c.Probes()
+	v2 := c.OneWay(eps[0], eps[1])
+	v3 := c.OneWay(eps[1], eps[0]) // symmetric: same pair
+	if v1 != v2 || v1 != v3 {
+		t.Fatalf("cached measurements diverge: %v %v %v", v1, v2, v3)
+	}
+	if c.Probes() != probesAfterFirst {
+		t.Fatal("cache miss on repeated OneWay")
+	}
+}
+
+func TestOneWaySelfIsBase(t *testing.T) {
+	model := fastModel(4)
+	c, err := Start(model, testEndpoints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ep := testEndpoints(2)[1]
+	if got := c.OneWay(ep, ep); got != model.Base {
+		t.Fatalf("self latency = %v, want base", got)
+	}
+}
+
+func TestPrewarmFillsCache(t *testing.T) {
+	eps := testEndpoints(6)
+	c, err := Start(fastModel(5), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var pairs [][2]trace.Endpoint
+	for i := 1; i < len(eps); i++ {
+		pairs = append(pairs, [2]trace.Endpoint{eps[0], eps[i]})
+	}
+	c.Prewarm(pairs, 8)
+	probes := c.Probes()
+	if probes != int64(len(pairs)) {
+		t.Fatalf("prewarm ran %d probes, want %d", probes, len(pairs))
+	}
+	for _, pr := range pairs {
+		c.OneWay(pr[0], pr[1])
+	}
+	if c.Probes() != probes {
+		t.Fatal("prewarmed pairs re-probed")
+	}
+}
+
+func TestDuplicateEndpointRejected(t *testing.T) {
+	eps := testEndpoints(2)
+	eps[1].ID = eps[0].ID
+	if _, err := Start(fastModel(6), eps); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestCloseIdempotentAndStopsProbes(t *testing.T) {
+	c, err := Start(fastModel(7), testEndpoints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+	if _, err := c.Probe(0, 1); err == nil {
+		t.Fatal("probe succeeded after Close")
+	}
+}
+
+// TestFogRunsOnMeasuredLatencies is the integration check: the CloudFog
+// assignment protocol and a coverage measurement run end-to-end against
+// live TCP sockets instead of the synthetic model.
+func TestFogRunsOnMeasuredLatencies(t *testing.T) {
+	cfg := experiment.Default(99)
+	cfg.Players = 40
+	cfg.Supernodes = 2
+	cfg.EdgeServers = 2
+	cfg.Datacenters = 2
+	cfg.Core.Latency = fastModel(99)
+	w, err := experiment.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, err := Start(fastModel(99), w.Endpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Prewarm(w.ProbePairs(cfg.Core.Candidates*2), 32)
+	w.UseLatencySource(cluster)
+
+	fog, err := w.NewFog(cfg.Datacenters, cfg.Supernodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	players := w.JoinAll(fog, cfg.Players)
+	served := 0
+	for _, p := range players {
+		if p.Attached.Served() {
+			served++
+		}
+		if l := fog.NetworkLatency(p); l <= 0 || l > time.Minute {
+			t.Fatalf("implausible measured latency %v", l)
+		}
+	}
+	if served != cfg.Players {
+		t.Fatalf("served %d of %d players", served, cfg.Players)
+	}
+	if cluster.Probes() == 0 {
+		t.Fatal("no TCP probes ran — the measured source was not used")
+	}
+	if cluster.Fallbacks() != 0 {
+		t.Fatalf("%d probes fell back to the model", cluster.Fallbacks())
+	}
+	w.LeaveAll(fog, players)
+}
+
+// TestProbeFallbackAfterNodeFailure: when a node dies mid-run, OneWay falls
+// back to the model instead of derailing the experiment.
+func TestProbeFallbackAfterNodeFailure(t *testing.T) {
+	model := fastModel(8)
+	eps := testEndpoints(3)
+	c, err := Start(model, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Kill node 2's listener behind the cluster's back.
+	c.mu.Lock()
+	c.nodes[2].ln.Close()
+	c.mu.Unlock()
+
+	got := c.OneWay(eps[0], eps[2])
+	if got != model.OneWay(eps[0], eps[2]) {
+		t.Fatalf("fallback latency %v != model %v", got, model.OneWay(eps[0], eps[2]))
+	}
+	if c.Fallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", c.Fallbacks())
+	}
+	// The fallback value is cached like a measurement.
+	before := c.Probes()
+	c.OneWay(eps[0], eps[2])
+	if c.Probes() != before || c.Fallbacks() != 1 {
+		t.Fatal("fallback value not cached")
+	}
+	// Healthy nodes keep probing normally.
+	if _, err := c.Probe(0, 1); err != nil {
+		t.Fatalf("healthy probe failed: %v", err)
+	}
+}

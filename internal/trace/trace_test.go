@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudfog/internal/geo"
+	"cloudfog/internal/sim"
+)
+
+func TestOneWaySymmetric(t *testing.T) {
+	m := DefaultModel(1)
+	a := Endpoint{ID: 1, Pos: geo.Point{X: 100, Y: 100}, Class: ClassNode}
+	b := Endpoint{ID: 2, Pos: geo.Point{X: 2000, Y: 1500}, Class: ClassDatacenter}
+	if m.OneWay(a, b) != m.OneWay(b, a) {
+		t.Fatal("OneWay not symmetric")
+	}
+}
+
+func TestOneWayDeterministic(t *testing.T) {
+	a := Endpoint{ID: 7, Pos: geo.Point{X: 10, Y: 20}, Class: ClassNode}
+	b := Endpoint{ID: 8, Pos: geo.Point{X: 300, Y: 400}, Class: ClassNode}
+	m1, m2 := DefaultModel(42), DefaultModel(42)
+	if m1.OneWay(a, b) != m2.OneWay(a, b) {
+		t.Fatal("same seed produced different latency")
+	}
+	m3 := DefaultModel(43)
+	if m1.PairNoise(7, 8) == m3.PairNoise(7, 8) {
+		t.Fatal("different seeds produced identical pair noise (vanishingly unlikely)")
+	}
+}
+
+func TestSelfLatencyIsBase(t *testing.T) {
+	m := DefaultModel(1)
+	a := Endpoint{ID: 5, Pos: geo.Point{X: 1, Y: 1}, Class: ClassNode}
+	if got := m.OneWay(a, a); got != m.Base {
+		t.Fatalf("self latency = %v, want base %v", got, m.Base)
+	}
+}
+
+func TestAccessClassDistinction(t *testing.T) {
+	m := DefaultModel(1)
+	if got := m.Access(3, ClassDatacenter); got != m.ProvisionedAccess {
+		t.Fatalf("datacenter access = %v, want %v", got, m.ProvisionedAccess)
+	}
+	if got := m.Access(3, ClassServer); got != m.ProvisionedAccess {
+		t.Fatalf("server access = %v, want %v", got, m.ProvisionedAccess)
+	}
+	// Regular node access is stable per node.
+	if m.Access(3, ClassNode) != m.Access(3, ClassNode) {
+		t.Fatal("node access not stable")
+	}
+}
+
+func TestDistanceIncreasesLatency(t *testing.T) {
+	m := DefaultModel(1)
+	a := Endpoint{ID: 1, Pos: geo.Point{X: 0, Y: 0}, Class: ClassDatacenter}
+	near := Endpoint{ID: 2, Pos: geo.Point{X: 100, Y: 0}, Class: ClassDatacenter}
+	far := Endpoint{ID: 2, Pos: geo.Point{X: 4000, Y: 0}, Class: ClassDatacenter}
+	// Same IDs => same access and noise; only distance differs.
+	if m.OneWay(a, near) >= m.OneWay(a, far) {
+		t.Fatal("longer distance did not increase latency")
+	}
+	wantDelta := time.Duration(3900 * float64(m.PerKm))
+	gotDelta := m.OneWay(a, far) - m.OneWay(a, near)
+	if gotDelta != wantDelta {
+		t.Fatalf("distance delta = %v, want %v", gotDelta, wantDelta)
+	}
+}
+
+func TestAccessMedianCalibration(t *testing.T) {
+	m := DefaultModel(9)
+	below := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Access(NodeID(i), ClassNode) <= m.AccessMedian {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("access median calibration off: %.3f below median", frac)
+	}
+}
+
+func TestPairNoiseMedianCalibration(t *testing.T) {
+	m := DefaultModel(10)
+	below := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.PairNoise(NodeID(i), NodeID(i+100000)) <= m.NoiseMedian {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("noise median calibration off: %.3f below median", frac)
+	}
+}
+
+// TestChoyCalibration reproduces the measurement the paper's motivation
+// rests on (Choy et al., NetGames'12): with ~13 provisioned datacenters in
+// the US, fewer than 70% of end users see latency within the 80 ms network
+// budget — but well over half do.
+func TestChoyCalibration(t *testing.T) {
+	m := DefaultModel(2026)
+	r := sim.NewRand(7)
+	region := geo.USRegion()
+	dcPts := geo.SpreadPoints(region, 13, r)
+	dcs := make([]Endpoint, len(dcPts))
+	for i, p := range dcPts {
+		dcs[i] = Endpoint{ID: NodeID(1_000_000 + i), Pos: p, Class: ClassDatacenter}
+	}
+	placer := geo.DefaultUSPlacer()
+	const players = 4000
+	covered := 0
+	for i := 0; i < players; i++ {
+		p := Endpoint{ID: NodeID(i), Pos: placer.Place(r), Class: ClassNode}
+		// Player connects to the geographically closest datacenter, as in
+		// the paper's coverage definition.
+		best := dcs[0]
+		for _, dc := range dcs[1:] {
+			if p.Pos.DistanceTo(dc.Pos) < p.Pos.DistanceTo(best.Pos) {
+				best = dc
+			}
+		}
+		if m.OneWay(p, best) <= 80*time.Millisecond {
+			covered++
+		}
+	}
+	frac := float64(covered) / players
+	if frac >= 0.70 {
+		t.Fatalf("13-DC coverage at 80ms = %.3f, want < 0.70 (Choy et al.)", frac)
+	}
+	if frac < 0.50 {
+		t.Fatalf("13-DC coverage at 80ms = %.3f, implausibly low (want >= 0.50)", frac)
+	}
+}
+
+func TestRTTIsTwiceOneWay(t *testing.T) {
+	m := DefaultModel(1)
+	a := Endpoint{ID: 1, Pos: geo.Point{X: 0, Y: 0}, Class: ClassNode}
+	b := Endpoint{ID: 2, Pos: geo.Point{X: 500, Y: 500}, Class: ClassNode}
+	if m.RTT(a, b) != 2*m.OneWay(a, b) {
+		t.Fatal("RTT != 2 * OneWay")
+	}
+}
+
+func TestMatrixMatchesOneWay(t *testing.T) {
+	m := DefaultModel(3)
+	r := sim.NewRand(4)
+	placer := geo.DefaultUSPlacer()
+	nodes := make([]Endpoint, 20)
+	for i := range nodes {
+		nodes[i] = Endpoint{ID: NodeID(i), Pos: placer.Place(r), Class: ClassNode}
+	}
+	mat := m.Matrix(nodes)
+	for i := range nodes {
+		for j := range nodes {
+			if mat[i][j] != m.OneWay(nodes[i], nodes[j]) {
+				t.Fatalf("matrix[%d][%d] mismatch", i, j)
+			}
+			if mat[i][j] != mat[j][i] {
+				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLatenciesArePositive(t *testing.T) {
+	m := DefaultModel(5)
+	r := sim.NewRand(6)
+	placer := geo.DefaultUSPlacer()
+	for i := 0; i < 5000; i++ {
+		a := Endpoint{ID: NodeID(i), Pos: placer.Place(r), Class: ClassNode}
+		b := Endpoint{ID: NodeID(i + 100000), Pos: placer.Place(r), Class: ClassNode}
+		if l := m.OneWay(a, b); l <= 0 {
+			t.Fatalf("non-positive latency %v", l)
+		}
+	}
+}
+
+// TestSupernodeSelectionCollapsesNoise verifies the property the fog design
+// relies on: the minimum latency over many nearby candidate supernodes is
+// far below the latency to a datacenter chosen from a small fixed set.
+func TestSupernodeSelectionCollapsesNoise(t *testing.T) {
+	m := DefaultModel(11)
+	r := sim.NewRand(12)
+	placer := geo.DefaultUSPlacer()
+
+	const trials = 500
+	var sumSN, sumDC time.Duration
+	for trial := 0; trial < trials; trial++ {
+		player := Endpoint{ID: NodeID(900000 + trial), Pos: placer.Place(r), Class: ClassNode}
+
+		// Min latency over 10 candidate supernodes within ~200 km.
+		bestSN := time.Duration(1 << 62)
+		for i := 0; i < 10; i++ {
+			sn := Endpoint{
+				ID:    NodeID(500000 + trial*10 + i),
+				Pos:   geo.USRegion().Clamp(geo.Point{X: player.Pos.X + float64(i*20), Y: player.Pos.Y + 10}),
+				Class: ClassNode,
+			}
+			if l := m.OneWay(player, sn); l < bestSN {
+				bestSN = l
+			}
+		}
+		// One datacenter 1500 km away.
+		dc := Endpoint{
+			ID:    NodeID(1000000 + trial),
+			Pos:   geo.USRegion().Clamp(geo.Point{X: player.Pos.X + 1500, Y: player.Pos.Y}),
+			Class: ClassDatacenter,
+		}
+		sumSN += bestSN
+		sumDC += m.OneWay(player, dc)
+	}
+	if sumSN >= sumDC {
+		t.Fatalf("mean min-over-supernodes latency (%v) not below mean remote-DC latency (%v)",
+			sumSN/trials, sumDC/trials)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := DefaultModel(12345)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, m)
+	}
+	// Reloaded models produce identical latencies.
+	a := Endpoint{ID: 1, Pos: geo.Point{X: 100, Y: 200}, Class: ClassNode}
+	b := Endpoint{ID: 2, Pos: geo.Point{X: 900, Y: 300}, Class: ClassSupernode}
+	if got.OneWay(a, b) != m.OneWay(a, b) {
+		t.Fatal("reloaded model draws different latencies")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"seed":1,"noise_sigma":-3}`)); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+}

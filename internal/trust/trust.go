@@ -1,0 +1,147 @@
+// Package trust implements the CloudFog paper's second future-work item
+// (§V): "the security issues such as dealing with malicious supernodes".
+//
+// Supernodes must be reliable — a malicious or broken one can serve
+// corrupted streams or silently drop segments (§III-A1). The registry keeps
+// a Beta-reputation estimate per supernode from player-reported delivery
+// outcomes: the score is the Laplace-smoothed success rate, old evidence
+// decays so a machine can redeem itself or go bad, and supernodes whose
+// score falls below a threshold (after a minimum of evidence) are
+// blacklisted. The cloud consults the blacklist when building assignment
+// shortlists.
+package trust
+
+import (
+	"sort"
+	"sync"
+)
+
+// Config parameterizes the reputation model.
+type Config struct {
+	// BlacklistBelow is the score threshold under which a supernode is
+	// excluded from assignment. Default 0.6.
+	BlacklistBelow float64
+	// MinReports is the evidence required before a supernode can be
+	// blacklisted (protects new contributors from early bad luck).
+	// Default 20.
+	MinReports int
+	// Decay multiplies accumulated evidence on each Report, bounding the
+	// memory so recent behavior dominates. Default 0.995.
+	Decay float64
+}
+
+// DefaultConfig returns the defaults.
+func DefaultConfig() Config {
+	return Config{BlacklistBelow: 0.6, MinReports: 20, Decay: 0.995}
+}
+
+// Registry tracks per-supernode reputation. It is safe for concurrent use.
+type Registry struct {
+	cfg Config
+
+	mu    sync.Mutex
+	stats map[int64]*record
+}
+
+type record struct {
+	good, bad float64
+}
+
+// NewRegistry returns a registry with the given configuration; zero-value
+// fields fall back to defaults.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.BlacklistBelow == 0 {
+		cfg.BlacklistBelow = 0.6
+	}
+	if cfg.MinReports == 0 {
+		cfg.MinReports = 20
+	}
+	if cfg.Decay == 0 {
+		cfg.Decay = 0.995
+	}
+	return &Registry{cfg: cfg, stats: make(map[int64]*record)}
+}
+
+// Report records one delivery outcome for a supernode: ok means the player
+// received its segment intact and on time.
+func (r *Registry) Report(snID int64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.stats[snID]
+	if rec == nil {
+		rec = &record{}
+		r.stats[snID] = rec
+	}
+	rec.good *= r.cfg.Decay
+	rec.bad *= r.cfg.Decay
+	if ok {
+		rec.good++
+	} else {
+		rec.bad++
+	}
+}
+
+// Score returns the supernode's reputation in [0,1]: the Laplace-smoothed
+// success rate (good+1)/(good+bad+2). Unknown supernodes score 0.5.
+func (r *Registry) Score(snID int64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.stats[snID]
+	if rec == nil {
+		return 0.5
+	}
+	return (rec.good + 1) / (rec.good + rec.bad + 2)
+}
+
+// Reports returns the (decayed) evidence volume for a supernode.
+func (r *Registry) Reports(snID int64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.stats[snID]
+	if rec == nil {
+		return 0
+	}
+	return rec.good + rec.bad
+}
+
+// Blacklisted reports whether the supernode has enough evidence and a score
+// below the threshold.
+func (r *Registry) Blacklisted(snID int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.stats[snID]
+	if rec == nil {
+		return false
+	}
+	n := rec.good + rec.bad
+	if n < float64(r.cfg.MinReports) {
+		return false
+	}
+	score := (rec.good + 1) / (n + 2)
+	return score < r.cfg.BlacklistBelow
+}
+
+// Blacklist returns the blacklisted supernode IDs, sorted.
+func (r *Registry) Blacklist() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int64
+	for id, rec := range r.stats {
+		n := rec.good + rec.bad
+		if n < float64(r.cfg.MinReports) {
+			continue
+		}
+		if (rec.good+1)/(n+2) < r.cfg.BlacklistBelow {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Forget removes a supernode's history (contract terminated).
+func (r *Registry) Forget(snID int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.stats, snID)
+}

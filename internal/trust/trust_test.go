@@ -1,0 +1,161 @@
+package trust
+
+import (
+	"sync"
+	"testing"
+
+	"cloudfog/internal/core"
+	"cloudfog/internal/game"
+	"cloudfog/internal/geo"
+	"cloudfog/internal/sim"
+)
+
+func TestUnknownSupernodeIsNeutral(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	if r.Score(1) != 0.5 {
+		t.Fatalf("unknown score = %v, want 0.5", r.Score(1))
+	}
+	if r.Blacklisted(1) {
+		t.Fatal("unknown supernode blacklisted")
+	}
+	if r.Reports(1) != 0 {
+		t.Fatal("phantom reports")
+	}
+}
+
+func TestScoreTracksOutcomes(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	for i := 0; i < 50; i++ {
+		r.Report(1, true)
+		r.Report(2, i%2 == 0) // 50% success
+		r.Report(3, false)
+	}
+	if s := r.Score(1); s < 0.9 {
+		t.Fatalf("reliable supernode scores %v", s)
+	}
+	if s := r.Score(2); s < 0.4 || s > 0.6 {
+		t.Fatalf("flaky supernode scores %v, want ~0.5", s)
+	}
+	if s := r.Score(3); s > 0.1 {
+		t.Fatalf("malicious supernode scores %v", s)
+	}
+}
+
+func TestBlacklistRequiresEvidence(t *testing.T) {
+	r := NewRegistry(Config{BlacklistBelow: 0.6, MinReports: 20, Decay: 1})
+	for i := 0; i < 10; i++ {
+		r.Report(1, false)
+	}
+	if r.Blacklisted(1) {
+		t.Fatal("blacklisted on thin evidence")
+	}
+	for i := 0; i < 15; i++ {
+		r.Report(1, false)
+	}
+	if !r.Blacklisted(1) {
+		t.Fatal("malicious supernode not blacklisted with ample evidence")
+	}
+	if bl := r.Blacklist(); len(bl) != 1 || bl[0] != 1 {
+		t.Fatalf("blacklist = %v", bl)
+	}
+}
+
+func TestDecayAllowsRedemption(t *testing.T) {
+	// Decay 0.9 bounds total evidence at 10, so the minimum must sit below.
+	r := NewRegistry(Config{BlacklistBelow: 0.6, MinReports: 8, Decay: 0.9})
+	for i := 0; i < 40; i++ {
+		r.Report(1, false)
+	}
+	if !r.Blacklisted(1) {
+		t.Fatal("setup: should be blacklisted")
+	}
+	// A long run of good behavior outweighs the decayed bad history.
+	for i := 0; i < 80; i++ {
+		r.Report(1, true)
+	}
+	if r.Blacklisted(1) {
+		t.Fatalf("no redemption after sustained good behavior (score %v)", r.Score(1))
+	}
+}
+
+func TestForget(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	for i := 0; i < 30; i++ {
+		r.Report(1, false)
+	}
+	r.Forget(1)
+	if r.Blacklisted(1) || r.Score(1) != 0.5 {
+		t.Fatal("history survived Forget")
+	}
+}
+
+func TestConcurrentReports(t *testing.T) {
+	r := NewRegistry(DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Report(int64(g%3), i%3 != 0)
+				r.Score(int64(g % 3))
+				r.Blacklisted(int64(g % 3))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFogSkipsBlacklistedSupernodes is the integration check: once the
+// registry blacklists a supernode, the assignment protocol routes around it.
+func TestFogSkipsBlacklistedSupernodes(t *testing.T) {
+	cfg := core.DefaultConfig(41)
+	cfg.Locator.ErrorSigma = 0
+	reg := NewRegistry(Config{BlacklistBelow: 0.6, MinReports: 10, Decay: 1})
+	cfg.Exclude = reg.Blacklisted
+
+	center := cfg.Region.Center()
+	dc := core.NewDatacenter(2_000_000, geo.Point{X: center.X + 300, Y: center.Y}, cfg.DCEgress)
+	sns := make([]*core.Supernode, 8)
+	for i := range sns {
+		pos := geo.Point{X: center.X + float64(i*20), Y: center.Y + 10}
+		sns[i] = core.NewSupernode(1_000_000+int64(i), pos, 10, 10*cfg.UplinkPerSlot)
+	}
+	fog, err := core.BuildFog(cfg, []*core.Datacenter{dc}, sns, sim.NewRand(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, _ := game.ByID(5)
+	probe := func(id int64) *core.Player {
+		p := &core.Player{ID: id, Pos: center, Game: g, Downlink: 20_000_000}
+		fog.Join(p)
+		return p
+	}
+
+	p1 := probe(1)
+	if p1.Attached.Kind != core.AttachSupernode {
+		t.Skip("landscape draw left no qualified supernode") // seed-dependent guard
+	}
+	evil := p1.Attached.SN
+	fog.Leave(p1)
+
+	// Players report the supernode dropping everything.
+	for i := 0; i < 30; i++ {
+		reg.Report(evil.ID, false)
+	}
+	if !reg.Blacklisted(evil.ID) {
+		t.Fatal("registry did not blacklist")
+	}
+
+	// Every subsequent join must avoid it.
+	for i := int64(10); i < 30; i++ {
+		p := probe(i)
+		if p.Attached.Kind == core.AttachSupernode && p.Attached.SN == evil {
+			t.Fatal("blacklisted supernode still serving new players")
+		}
+	}
+	if evil.Load() != 0 {
+		t.Fatalf("blacklisted supernode has load %d", evil.Load())
+	}
+}

@@ -1,0 +1,136 @@
+package world
+
+import "sort"
+
+// PartitionKD splits the world into 2^depth regions with a kd-tree over the
+// avatar positions, alternating split axes and cutting at the median — the
+// load-balancing approach of Bezerra et al. (the paper's refs [1][12]) that
+// MMOG clouds use to assign regions of the virtual environment to servers.
+// Regions tile the bounds exactly; each carries its avatar count.
+func PartitionKD(bounds Rect, avatars []Vec2, depth int) []Region {
+	if depth < 0 {
+		depth = 0
+	}
+	pts := make([]Vec2, len(avatars))
+	copy(pts, avatars)
+	var out []Region
+	var split func(r Rect, pts []Vec2, d int, axis int)
+	split = func(r Rect, pts []Vec2, d int, axis int) {
+		if d == 0 {
+			out = append(out, Region{Bounds: r, Avatars: len(pts)})
+			return
+		}
+		if axis == 0 {
+			sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		} else {
+			sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
+		}
+		mid := len(pts) / 2
+		var cut float64
+		switch {
+		case len(pts) == 0:
+			// No load information: cut geometrically.
+			if axis == 0 {
+				cut = (r.Min.X + r.Max.X) / 2
+			} else {
+				cut = (r.Min.Y + r.Max.Y) / 2
+			}
+		case axis == 0:
+			cut = pts[mid].X
+		default:
+			cut = pts[mid].Y
+		}
+		// Degenerate stacks (all avatars at one coordinate) fall back to a
+		// geometric cut so regions keep positive area.
+		lo, hi := r.Min, r.Max
+		if axis == 0 {
+			if cut <= lo.X || cut >= hi.X {
+				cut = (lo.X + hi.X) / 2
+			}
+		} else {
+			if cut <= lo.Y || cut >= hi.Y {
+				cut = (lo.Y + hi.Y) / 2
+			}
+		}
+		var left, right Rect
+		if axis == 0 {
+			left = Rect{Min: lo, Max: Vec2{cut, hi.Y}}
+			right = Rect{Min: Vec2{cut, lo.Y}, Max: hi}
+		} else {
+			left = Rect{Min: lo, Max: Vec2{hi.X, cut}}
+			right = Rect{Min: Vec2{lo.X, cut}, Max: hi}
+		}
+		var lp, rp []Vec2
+		for _, p := range pts {
+			if left.Contains(p) {
+				lp = append(lp, p)
+			} else {
+				rp = append(rp, p)
+			}
+		}
+		split(left, lp, d-1, 1-axis)
+		split(right, rp, d-1, 1-axis)
+	}
+	split(bounds, pts, depth, 0)
+	return out
+}
+
+// Region is one kd-tree leaf with its avatar load.
+type Region struct {
+	Bounds  Rect
+	Avatars int
+}
+
+// AssignRegions distributes regions across n servers, balancing total
+// avatar load greedily (largest region to the least-loaded server). It
+// returns, for each region index, the server it is assigned to.
+func AssignRegions(regions []Region, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	order := make([]int, len(regions))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return regions[order[a]].Avatars > regions[order[b]].Avatars
+	})
+	load := make([]int, n)
+	assign := make([]int, len(regions))
+	for _, ri := range order {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		assign[ri] = best
+		load[best] += regions[ri].Avatars
+	}
+	return assign
+}
+
+// LoadImbalance returns max/mean server load for an assignment (1.0 is
+// perfect balance). Empty assignments return 1.
+func LoadImbalance(regions []Region, assign []int, n int) float64 {
+	if n < 1 || len(regions) == 0 {
+		return 1
+	}
+	load := make([]int, n)
+	total := 0
+	for i, r := range regions {
+		load[assign[i]] += r.Avatars
+		total += r.Avatars
+	}
+	if total == 0 {
+		return 1
+	}
+	max := 0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	mean := float64(total) / float64(n)
+	return float64(max) / mean
+}

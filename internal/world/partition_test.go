@@ -1,0 +1,197 @@
+package world
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudfog/internal/sim"
+)
+
+func clusteredAvatars(rng *sim.Rand, n int) []Vec2 {
+	// Three hotspots plus a uniform background — the skewed avatar
+	// distribution that motivates kd-tree balancing.
+	out := make([]Vec2, n)
+	hotspots := []Vec2{{1000, 1000}, {8000, 2000}, {5000, 9000}}
+	for i := range out {
+		if rng.Float64() < 0.8 {
+			h := hotspots[rng.Intn(len(hotspots))]
+			out[i] = Vec2{h.X + rng.NormFloat64()*300, h.Y + rng.NormFloat64()*300}
+		} else {
+			out[i] = Vec2{rng.Float64() * 10000, rng.Float64() * 10000}
+		}
+	}
+	return out
+}
+
+func TestPartitionKDTilesExactly(t *testing.T) {
+	rng := sim.NewRand(1)
+	bounds := DefaultConfig().Bounds
+	avatars := clusteredAvatars(rng, 500)
+	regions := PartitionKD(bounds, avatars, 4)
+	if len(regions) != 16 {
+		t.Fatalf("depth 4 produced %d regions, want 16", len(regions))
+	}
+	// Every avatar falls in exactly one region, and counts agree.
+	total := 0
+	for _, r := range regions {
+		total += r.Avatars
+		if r.Bounds.Width() <= 0 || r.Bounds.Height() <= 0 {
+			t.Fatalf("degenerate region %+v", r.Bounds)
+		}
+	}
+	if total != len(avatars) {
+		t.Fatalf("region counts sum to %d, want %d", total, len(avatars))
+	}
+	for _, p := range avatars {
+		in := 0
+		for _, r := range regions {
+			if r.Bounds.Contains(bounds.Clamp(p)) {
+				in++
+			}
+		}
+		if in != 1 {
+			t.Fatalf("avatar %+v in %d regions", p, in)
+		}
+	}
+	// Area conservation.
+	area := 0.0
+	for _, r := range regions {
+		area += r.Bounds.Width() * r.Bounds.Height()
+	}
+	want := bounds.Width() * bounds.Height()
+	if math.Abs(area-want)/want > 1e-9 {
+		t.Fatalf("regions cover area %v, want %v", area, want)
+	}
+}
+
+func TestPartitionKDBalancesLoad(t *testing.T) {
+	rng := sim.NewRand(2)
+	bounds := DefaultConfig().Bounds
+	avatars := clusteredAvatars(rng, 1024)
+	kd := PartitionKD(bounds, avatars, 3) // 8 regions
+
+	// Compare against a uniform 4x2 geometric grid.
+	grid := []Region{}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 2; j++ {
+			r := Rect{
+				Min: Vec2{bounds.Width() / 4 * float64(i), bounds.Height() / 2 * float64(j)},
+				Max: Vec2{bounds.Width() / 4 * float64(i+1), bounds.Height() / 2 * float64(j+1)},
+			}
+			count := 0
+			for _, p := range avatars {
+				if r.Contains(p) {
+					count++
+				}
+			}
+			grid = append(grid, Region{Bounds: r, Avatars: count})
+		}
+	}
+	imbalance := func(rs []Region) float64 {
+		max, mean := 0, 0.0
+		for _, r := range rs {
+			if r.Avatars > max {
+				max = r.Avatars
+			}
+			mean += float64(r.Avatars)
+		}
+		mean /= float64(len(rs))
+		return float64(max) / mean
+	}
+	if imbalance(kd) >= imbalance(grid) {
+		t.Fatalf("kd-tree imbalance %.2f not better than uniform grid %.2f",
+			imbalance(kd), imbalance(grid))
+	}
+	// Median splits keep every region within a small factor of the mean.
+	if imbalance(kd) > 1.5 {
+		t.Fatalf("kd-tree imbalance %.2f too high", imbalance(kd))
+	}
+}
+
+func TestPartitionKDDepthZero(t *testing.T) {
+	bounds := DefaultConfig().Bounds
+	regions := PartitionKD(bounds, []Vec2{{1, 1}}, 0)
+	if len(regions) != 1 || regions[0].Bounds != bounds || regions[0].Avatars != 1 {
+		t.Fatalf("depth 0 wrong: %+v", regions)
+	}
+}
+
+func TestPartitionKDEmptyWorld(t *testing.T) {
+	bounds := DefaultConfig().Bounds
+	regions := PartitionKD(bounds, nil, 3)
+	if len(regions) != 8 {
+		t.Fatalf("%d regions, want 8", len(regions))
+	}
+	for _, r := range regions {
+		if r.Avatars != 0 {
+			t.Fatal("phantom avatars")
+		}
+		if r.Bounds.Width() <= 0 || r.Bounds.Height() <= 0 {
+			t.Fatal("degenerate empty-world region")
+		}
+	}
+}
+
+func TestPartitionKDDegenerateStack(t *testing.T) {
+	// All avatars at the same point: geometric fallback must keep
+	// positive-area regions.
+	bounds := DefaultConfig().Bounds
+	pts := make([]Vec2, 64)
+	for i := range pts {
+		pts[i] = Vec2{5000, 5000}
+	}
+	regions := PartitionKD(bounds, pts, 4)
+	total := 0
+	for _, r := range regions {
+		if r.Bounds.Width() <= 0 || r.Bounds.Height() <= 0 {
+			t.Fatalf("degenerate region %+v", r.Bounds)
+		}
+		total += r.Avatars
+	}
+	if total != len(pts) {
+		t.Fatalf("lost avatars: %d of %d", total, len(pts))
+	}
+}
+
+func TestAssignRegionsBalances(t *testing.T) {
+	rng := sim.NewRand(3)
+	bounds := DefaultConfig().Bounds
+	avatars := clusteredAvatars(rng, 2048)
+	regions := PartitionKD(bounds, avatars, 5) // 32 regions
+	assign := AssignRegions(regions, 5)
+	if len(assign) != len(regions) {
+		t.Fatal("assignment length mismatch")
+	}
+	for _, s := range assign {
+		if s < 0 || s >= 5 {
+			t.Fatalf("server index %d out of range", s)
+		}
+	}
+	if im := LoadImbalance(regions, assign, 5); im > 1.15 {
+		t.Fatalf("server load imbalance %.3f, want near 1", im)
+	}
+}
+
+func TestLoadImbalanceEdgeCases(t *testing.T) {
+	if LoadImbalance(nil, nil, 3) != 1 {
+		t.Fatal("empty imbalance != 1")
+	}
+	regions := []Region{{Avatars: 0}, {Avatars: 0}}
+	if LoadImbalance(regions, []int{0, 1}, 2) != 1 {
+		t.Fatal("zero-load imbalance != 1")
+	}
+}
+
+func TestRectContainsProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		r := Rect{Min: Vec2{0, 0}, Max: Vec2{100, 100}}
+		p := Vec2{math.Mod(math.Abs(x), 200), math.Mod(math.Abs(y), 200)}
+		in := r.Contains(p)
+		wantIn := p.X >= 0 && p.X < 100 && p.Y >= 0 && p.Y < 100
+		return in == wantIn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

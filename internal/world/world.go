@@ -1,0 +1,434 @@
+// Package world implements the MMOG game-state substrate CloudFog's cloud
+// runs (paper §III-A): the cloud "collects action information from all
+// involved players ... and performs the computation of the new game state
+// of the virtual world (including the new shape and position of objects and
+// states of avatars)", then sends update information to supernodes, which
+// update their replicas of the virtual world and render per-player views.
+//
+// The package provides the authoritative World (entity store + action
+// application + deterministic tick), versioned Deltas (the paper's "update
+// information"), the supernode-side Replica that applies them, per-player
+// visibility queries for rendering, and the kd-tree region partitioning
+// that MMOG clouds use to split the virtual environment across servers
+// (Bezerra et al., the paper's refs [1] and [12]).
+package world
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a position or velocity in game-world coordinates.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Len returns the Euclidean norm.
+func (v Vec2) Len() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y) }
+
+// Rect is an axis-aligned region of the virtual world.
+type Rect struct {
+	Min, Max Vec2
+}
+
+// Contains reports whether p lies in the rectangle (inclusive min,
+// exclusive max, so adjacent regions do not overlap).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Clamp returns p moved inside the rectangle.
+func (r Rect) Clamp(p Vec2) Vec2 {
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	return Vec2{clamp(p.X, r.Min.X, r.Max.X), clamp(p.Y, r.Min.Y, r.Max.Y)}
+}
+
+// Width and Height of the rectangle.
+func (r Rect) Width() float64  { return r.Max.X - r.Min.X }
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// EntityID identifies a world entity.
+type EntityID int64
+
+// Kind classifies entities.
+type Kind uint8
+
+const (
+	// KindAvatar is a player-controlled character.
+	KindAvatar Kind = iota
+	// KindObject is a world object (loot, obstacle, projectile target).
+	KindObject
+)
+
+// Entity is one object or avatar of the virtual world.
+type Entity struct {
+	ID    EntityID
+	Kind  Kind
+	Owner int64 // player ID for avatars, 0 otherwise
+	Pos   Vec2
+	Vel   Vec2
+	HP    int32
+	// Version is the world tick at which the entity last changed.
+	Version uint64
+}
+
+// ActionKind classifies player inputs.
+type ActionKind uint8
+
+const (
+	// ActionMove sets the avatar's velocity toward a target point.
+	ActionMove ActionKind = iota
+	// ActionStop zeroes the avatar's velocity.
+	ActionStop
+	// ActionStrike deals damage to a target entity within reach.
+	ActionStrike
+)
+
+// Action is one player input, applied by the cloud at the next tick.
+type Action struct {
+	Player int64
+	Kind   ActionKind
+	Target Vec2     // ActionMove destination
+	Victim EntityID // ActionStrike target
+}
+
+// Config holds world-simulation constants.
+type Config struct {
+	Bounds      Rect
+	MoveSpeed   float64 // units per second for avatars
+	StrikeReach float64 // maximum distance for a strike to land
+	StrikeDmg   int32
+	MaxHP       int32
+}
+
+// DefaultConfig returns a playable parameterization on a 10,000² world.
+func DefaultConfig() Config {
+	return Config{
+		Bounds:      Rect{Min: Vec2{0, 0}, Max: Vec2{10_000, 10_000}},
+		MoveSpeed:   120,
+		StrikeReach: 50,
+		StrikeDmg:   10,
+		MaxHP:       100,
+	}
+}
+
+// World is the authoritative game state, owned by the cloud.
+type World struct {
+	cfg      Config
+	entities map[EntityID]*Entity
+	byOwner  map[int64]EntityID
+	version  uint64
+	nextID   EntityID
+
+	// journal records which entities changed (or were removed) at which
+	// version, so DeltaSince is proportional to the change volume, not
+	// the world size. Compact bounds its growth; compacted is the highest
+	// version whose changes have been dropped — replicas older than it
+	// must take a snapshot.
+	journal   []journalEntry
+	compacted uint64
+}
+
+type journalEntry struct {
+	version uint64
+	id      EntityID
+	removed bool
+}
+
+// New returns an empty world.
+func New(cfg Config) *World {
+	return &World{
+		cfg:      cfg,
+		entities: make(map[EntityID]*Entity),
+		byOwner:  make(map[int64]EntityID),
+		nextID:   1,
+	}
+}
+
+// Version returns the current world version (tick counter).
+func (w *World) Version() uint64 { return w.version }
+
+// Len returns the number of live entities.
+func (w *World) Len() int { return len(w.entities) }
+
+// Bounds returns the world rectangle.
+func (w *World) Bounds() Rect { return w.cfg.Bounds }
+
+// SpawnAvatar creates an avatar for a player at the given position and
+// returns its entity. Spawning a second avatar for the same player is an
+// error.
+func (w *World) SpawnAvatar(player int64, pos Vec2) (*Entity, error) {
+	if _, dup := w.byOwner[player]; dup {
+		return nil, fmt.Errorf("world: player %d already has an avatar", player)
+	}
+	w.version++
+	e := &Entity{
+		ID:      w.nextID,
+		Kind:    KindAvatar,
+		Owner:   player,
+		Pos:     w.cfg.Bounds.Clamp(pos),
+		HP:      w.cfg.MaxHP,
+		Version: w.version,
+	}
+	w.nextID++
+	w.entities[e.ID] = e
+	w.byOwner[player] = e.ID
+	w.log(e.ID, false)
+	return e, nil
+}
+
+// SpawnObject creates a world object.
+func (w *World) SpawnObject(pos Vec2) *Entity {
+	w.version++
+	e := &Entity{
+		ID:      w.nextID,
+		Kind:    KindObject,
+		Pos:     w.cfg.Bounds.Clamp(pos),
+		HP:      w.cfg.MaxHP,
+		Version: w.version,
+	}
+	w.nextID++
+	w.entities[e.ID] = e
+	w.log(e.ID, false)
+	return e
+}
+
+// Remove deletes an entity (player logout, object destroyed).
+func (w *World) Remove(id EntityID) {
+	e, ok := w.entities[id]
+	if !ok {
+		return
+	}
+	w.version++
+	delete(w.entities, id)
+	if e.Kind == KindAvatar {
+		delete(w.byOwner, e.Owner)
+	}
+	w.log(id, true)
+}
+
+// Avatar returns a player's avatar, or nil.
+func (w *World) Avatar(player int64) *Entity {
+	if id, ok := w.byOwner[player]; ok {
+		return w.entities[id]
+	}
+	return nil
+}
+
+// Get returns an entity by ID, or nil.
+func (w *World) Get(id EntityID) *Entity { return w.entities[id] }
+
+func (w *World) log(id EntityID, removed bool) {
+	w.journal = append(w.journal, journalEntry{version: w.version, id: id, removed: removed})
+}
+
+// Apply executes player actions against the current state, advancing the
+// world version. Unknown players and out-of-reach strikes are ignored (a
+// server must tolerate stale client input).
+func (w *World) Apply(actions []Action) {
+	if len(actions) == 0 {
+		return
+	}
+	w.version++
+	for _, a := range actions {
+		av := w.Avatar(a.Player)
+		if av == nil {
+			continue
+		}
+		switch a.Kind {
+		case ActionMove:
+			dir := a.Target.Sub(av.Pos)
+			if l := dir.Len(); l > 1e-9 {
+				av.Vel = dir.Scale(w.cfg.MoveSpeed / l)
+			} else {
+				av.Vel = Vec2{}
+			}
+			av.Version = w.version
+			w.log(av.ID, false)
+		case ActionStop:
+			av.Vel = Vec2{}
+			av.Version = w.version
+			w.log(av.ID, false)
+		case ActionStrike:
+			victim := w.entities[a.Victim]
+			if victim == nil || victim.ID == av.ID {
+				continue
+			}
+			if victim.Pos.Sub(av.Pos).Len() > w.cfg.StrikeReach {
+				continue
+			}
+			victim.HP -= w.cfg.StrikeDmg
+			victim.Version = w.version
+			w.log(victim.ID, false)
+			if victim.HP <= 0 {
+				// Death: remove the entity within the same version.
+				delete(w.entities, victim.ID)
+				if victim.Kind == KindAvatar {
+					delete(w.byOwner, victim.Owner)
+				}
+				w.log(victim.ID, true)
+			}
+		}
+	}
+}
+
+// Step integrates avatar movement over dt seconds, advancing the version.
+// Avatars stop at the world boundary.
+func (w *World) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	w.version++
+	for _, e := range w.entities {
+		if e.Vel == (Vec2{}) {
+			continue
+		}
+		next := w.cfg.Bounds.Clamp(e.Pos.Add(e.Vel.Scale(dt)))
+		if next == e.Pos {
+			e.Vel = Vec2{}
+		} else {
+			e.Pos = next
+		}
+		e.Version = w.version
+		w.log(e.ID, false)
+	}
+}
+
+// Delta is the paper's "update information": the entities that changed
+// since a replica's version, plus removals. Applying it to a replica at
+// FromVersion yields the state at ToVersion.
+type Delta struct {
+	FromVersion uint64
+	ToVersion   uint64
+	// Full marks a snapshot delta (replica state is replaced).
+	Full    bool
+	Updated []Entity
+	Removed []EntityID
+}
+
+// WireSize estimates the encoded size in bytes (the Λ grounding: what the
+// cloud actually ships to a supernode per update).
+func (d Delta) WireSize() int {
+	const header = 8 + 8 + 1 + 4 + 4
+	const perEntity = 8 + 1 + 8 + 8*4 + 4 + 8
+	return header + len(d.Updated)*perEntity + len(d.Removed)*8
+}
+
+// DeltaSince returns the changes after version v. If v is older than the
+// journal's horizon (after compaction) a full snapshot is returned.
+func (w *World) DeltaSince(v uint64) Delta {
+	if v > w.version {
+		v = w.version
+	}
+	if v == 0 || v < w.compacted {
+		return w.Snapshot()
+	}
+	changed := make(map[EntityID]bool)
+	removed := make(map[EntityID]bool)
+	for _, je := range w.journal {
+		if je.version <= v {
+			continue
+		}
+		if je.removed {
+			removed[je.id] = true
+			delete(changed, je.id)
+		} else {
+			changed[je.id] = true
+			delete(removed, je.id)
+		}
+	}
+	d := Delta{FromVersion: v, ToVersion: w.version}
+	for id := range changed {
+		if e, ok := w.entities[id]; ok {
+			d.Updated = append(d.Updated, *e)
+		}
+	}
+	for id := range removed {
+		if _, alive := w.entities[id]; !alive {
+			d.Removed = append(d.Removed, id)
+		}
+	}
+	return d
+}
+
+// DeltaSinceWithin is DeltaSince with interest filtering: only changed
+// entities inside the view rectangle are included (removals are always
+// included — they are cheap and the replica may hold the entity). This is
+// what keeps the cloud→supernode update bandwidth Λ small: a supernode only
+// needs the part of the virtual world its players can see.
+//
+// A filtered replica is complete only for the subscribed view; entities
+// that move into the view after last sync appear because any position
+// change marks the entity changed.
+func (w *World) DeltaSinceWithin(v uint64, view Rect) Delta {
+	d := w.DeltaSince(v)
+	if d.Full {
+		filtered := d.Updated[:0]
+		for _, e := range d.Updated {
+			if view.Contains(e.Pos) {
+				filtered = append(filtered, e)
+			}
+		}
+		d.Updated = filtered
+		return d
+	}
+	filtered := make([]Entity, 0, len(d.Updated))
+	for _, e := range d.Updated {
+		if view.Contains(e.Pos) {
+			filtered = append(filtered, e)
+		} else {
+			// Leave event: the entity changed while out of the view, so
+			// a subscriber that held it (from when it was visible) must
+			// drop it. Subscribers that never held it ignore the removal.
+			d.Removed = append(d.Removed, e.ID)
+		}
+	}
+	d.Updated = filtered
+	return d
+}
+
+// Snapshot returns a full-state delta.
+func (w *World) Snapshot() Delta {
+	d := Delta{FromVersion: 0, ToVersion: w.version, Full: true}
+	d.Updated = make([]Entity, 0, len(w.entities))
+	for _, e := range w.entities {
+		d.Updated = append(d.Updated, *e)
+	}
+	return d
+}
+
+// Compact drops journal entries at or below version v (all replicas have
+// caught up past v). Replicas older than v will receive snapshots.
+func (w *World) Compact(v uint64) {
+	if v > w.version {
+		v = w.version
+	}
+	if v > w.compacted {
+		w.compacted = v
+	}
+	i := 0
+	for i < len(w.journal) && w.journal[i].version <= v {
+		i++
+	}
+	w.journal = append(w.journal[:0], w.journal[i:]...)
+}
+
+// JournalLen reports the change-journal length (for tests and monitoring).
+func (w *World) JournalLen() int { return len(w.journal) }
