@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; the parallel figure
+# sweeps must stay clean here.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+# verify is the CI gate: static checks plus the race-enabled suite.
+verify: vet race

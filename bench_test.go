@@ -52,6 +52,26 @@ func simWorld(b *testing.B) *experiment.World {
 	return benchW
 }
 
+// paperWorld is the full paper-scale world — 10,000 players, 600
+// supernodes — for the assignment-path benchmarks whose acceptance bar is
+// set at that scale.
+var (
+	paperOnce sync.Once
+	paperW    *experiment.World
+)
+
+func paperWorld(b *testing.B) *experiment.World {
+	b.Helper()
+	paperOnce.Do(func() {
+		w, err := experiment.NewWorld(experiment.Default(2027))
+		if err != nil {
+			panic(err)
+		}
+		paperW = w
+	})
+	return paperW
+}
+
 func benchReqs() []time.Duration {
 	return []time.Duration{30 * time.Millisecond, 70 * time.Millisecond, 110 * time.Millisecond}
 }
@@ -562,14 +582,17 @@ func BenchmarkTraceOneWay(b *testing.B) {
 	_ = d
 }
 
+// BenchmarkAssignmentJoin measures one join/leave round trip of the
+// assignment protocol against a paper-scale fog (600 supernodes).
 func BenchmarkAssignmentJoin(b *testing.B) {
-	w := simWorld(b)
+	w := paperWorld(b)
 	fog, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
 	if err != nil {
 		b.Fatal(err)
 	}
 	g, _ := game.ByID(4)
 	players := w.Pop.Players
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := players[i%len(players)]
@@ -608,35 +631,58 @@ func BenchmarkQoENode(b *testing.B) {
 	}
 }
 
+// BenchmarkChurn drives the Poisson session arrival/departure process
+// against a paper-scale fog (600 supernodes), so every arrival exercises
+// the real shortlist-probe-attach path.
 func BenchmarkChurn(b *testing.B) {
-	cfg := workload.DefaultConfig(4)
-	cfg.Players = 1000
-	pop, err := workload.Generate(cfg)
+	w := paperWorld(b).Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fog, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		engine := sim.New()
+		churn := workload.NewChurn(engine, fog, w.Pop, 5, sim.NewRand(9))
+		churn.Start()
+		engine.RunUntil(30 * time.Minute)
+		b.StopTimer()
+		for _, p := range w.Pop.Players {
+			if p.Online {
+				fog.Leave(p)
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSweepSerial/BenchmarkSweepParallel time one coverage figure on
+// one worker versus the full pool — the parallel-sweep half of the
+// tentpole. On a single-CPU host the two coincide.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfg := experiment.Default(2028)
+	cfg.Players = 2500
+	cfg.Supernodes = 200
+	cfg.EdgeServers = 20
+	cfg.SweepWorkers = workers
+	w, err := experiment.NewWorld(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		engine := sim.New()
-		sys := nullSystem{}
-		churn := workload.NewChurn(engine, sys, pop, 5, sim.NewRand(9))
-		churn.Start()
-		engine.RunUntil(time.Hour)
-		for _, p := range pop.Players {
-			p.Online = false
+		if _, err := experiment.CoverageVsSupernodes(w, []int{0, 100, 200}, benchReqs()); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
 
-type nullSystem struct{}
-
-func (nullSystem) Name() string { return "null" }
-func (nullSystem) Join(p *core.Player) core.Attachment {
-	p.Online = true
-	return core.Attachment{Kind: core.AttachCloud}
-}
-func (nullSystem) Leave(p *core.Player)                      { p.Online = false }
-func (nullSystem) NetworkLatency(*core.Player) time.Duration { return 0 }
-func (nullSystem) CloudBandwidth() int64                     { return 0 }
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // --- Game-state substrate benchmarks ---
 

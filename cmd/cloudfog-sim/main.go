@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,14 +32,48 @@ var (
 	horizonFlag    = flag.Duration("horizon", 60*time.Second, "virtual time horizon for QoE figures")
 	csvFlag        = flag.Bool("csv", false, "emit comma-separated tables instead of aligned text")
 	traceOutFlag   = flag.String("save-trace", "", "write the latency model parameters to this file")
+	workersFlag    = flag.Int("sweep-workers", 0, "sweep worker pool size: 0 = one per CPU, 1 = serial")
+	cpuProfFlag    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfFlag    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if err := withProfiles(run); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudfog-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles brackets fn with the standard pprof hooks: a CPU profile
+// covering the whole run and a heap profile snapped at the end.
+func withProfiles(fn func() error) error {
+	if *cpuProfFlag != "" {
+		f, err := os.Create(*cpuProfFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if *memProfFlag != "" {
+		f, err := os.Create(*memProfFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func reqs() []time.Duration {
@@ -52,6 +88,7 @@ func run() error {
 	cfg.Players = *playersFlag
 	cfg.Supernodes = *supernodesFlag
 	cfg.Datacenters = *dcsFlag
+	cfg.SweepWorkers = *workersFlag
 
 	fmt.Printf("CloudFog simulator — %d players, %d supernodes, %d datacenters, seed %d\n\n",
 		cfg.Players, cfg.Supernodes, cfg.Datacenters, cfg.Seed)

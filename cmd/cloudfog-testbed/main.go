@@ -32,6 +32,7 @@ var (
 	dcsFlag        = flag.Int("datacenters", 2, "default number of main datacenters (PlanetLab run: 2)")
 	serversFlag    = flag.Int("servers", 8, "EdgeCloud servers (PlanetLab run: 8)")
 	parallelFlag   = flag.Int("parallel", 256, "concurrent prewarm probes")
+	workersFlag    = flag.Int("sweep-workers", 0, "sweep worker pool size: 0 = one per CPU, 1 = serial")
 )
 
 func main() {
@@ -55,6 +56,7 @@ func run() error {
 	cfg.Supernodes = *supernodesFlag
 	cfg.Datacenters = *dcsFlag
 	cfg.EdgeServers = *serversFlag
+	cfg.SweepWorkers = *workersFlag
 	// The paper's PlanetLab population: 300 of 750 nodes could act as
 	// supernodes, a much higher capable fraction than the simulation's 10%.
 	cfg.Workload.SupernodeFraction = 0.45

@@ -7,11 +7,16 @@ import (
 
 	"cloudfog/internal/game"
 	"cloudfog/internal/sim"
+	"cloudfog/internal/spatial"
 )
 
 // Fog is the CloudFog system: a cloud of datacenters plus a fog of
 // registered supernodes. It implements the System interface used by the
 // experiment harness.
+//
+// A Fog is not safe for concurrent use: the assignment protocol reuses
+// per-instance scratch buffers so the steady-state join/failover path does
+// not allocate.
 type Fog struct {
 	cfg Config
 	rng *sim.Rand
@@ -24,7 +29,29 @@ type Fog struct {
 	// position (paper §III-A3: coordinates determined from IP addresses).
 	snEstPos map[int64]struct{ x, y float64 }
 
+	// snIdx spatially indexes the geolocated supernode table so the
+	// shortlist step is an expanding-ring k-nearest query instead of a
+	// scan-and-sort over every registered supernode. The index holds all
+	// registered supernodes regardless of load: capacity and blacklist
+	// filtering happen during query traversal, so attach/detach never
+	// touch the index.
+	snIdx *spatial.Grid
+	// shortlistOK is the query-time filter, bound once so the hot path
+	// does not allocate a closure per shortlist.
+	shortlistOK func(id int64) bool
+
 	players map[int64]*Player
+
+	// Scratch buffers reused across assignment-protocol calls.
+	nbrScratch   []spatial.Neighbor
+	candScratch  []*Supernode
+	probeScratch []probe
+}
+
+// probe is one shortlist candidate with its probed streaming-hop delay.
+type probe struct {
+	sn    *Supernode
+	delay time.Duration
 }
 
 // BuildFog constructs a Fog with the given datacenters and supernodes. The
@@ -43,7 +70,14 @@ func BuildFog(cfg Config, dcs []*Datacenter, sns []*Supernode, rng *sim.Rand) (*
 		dcs:      dcs,
 		sns:      make(map[int64]*Supernode, len(sns)),
 		snEstPos: make(map[int64]struct{ x, y float64 }, len(sns)),
+		snIdx:    spatial.NewGrid(cfg.Region.Width, cfg.Region.Height),
 		players:  make(map[int64]*Player),
+	}
+	f.shortlistOK = func(id int64) bool {
+		if f.cfg.Exclude != nil && f.cfg.Exclude(id) {
+			return false
+		}
+		return f.sns[id].Available() > 0
 	}
 	for _, sn := range sns {
 		if err := f.RegisterSupernode(sn); err != nil {
@@ -85,6 +119,7 @@ func (f *Fog) RegisterSupernode(sn *Supernode) error {
 	f.snOrder = append(f.snOrder, sn)
 	est := f.cfg.Locator.Locate(sn.Pos, f.rng)
 	f.snEstPos[sn.ID] = struct{ x, y float64 }{est.X, est.Y}
+	f.snIdx.Insert(sn.ID, est.X, est.Y)
 	return nil
 }
 
@@ -98,6 +133,7 @@ func (f *Fog) DeregisterSupernode(id int64) {
 	}
 	delete(f.sns, id)
 	delete(f.snEstPos, id)
+	f.snIdx.Remove(id)
 	for i, s := range f.snOrder {
 		if s.ID == id {
 			f.snOrder = append(f.snOrder[:i], f.snOrder[i+1:]...)
@@ -159,17 +195,13 @@ func (f *Fog) assign(p *Player) {
 	cands := f.shortlist(est.X, est.Y, f.cfg.Candidates)
 	lmax := f.cfg.Lmax(p.Game.NetworkBudget())
 
-	type probe struct {
-		sn    *Supernode
-		delay time.Duration
-	}
 	budget := p.Game.NetworkBudget()
 	// The guaranteed transmission floor: a supernode provisions
 	// UplinkPerSlot per supported player, so one segment at the game's
 	// bitrate takes at least segBytes/perSlot to send.
 	segBits := float64(f.cfg.Stream.SegmentBytes(p.Game.Quality().Bitrate)) * 8
 	minTrans := time.Duration(segBits / float64(f.cfg.UplinkPerSlot) * float64(time.Second))
-	probes := make([]probe, 0, len(cands))
+	probes := f.probeScratch[:0]
 	for _, sn := range cands {
 		d := f.cfg.Latency.OneWay(p.Endpoint(), sn.Endpoint())
 		// A candidate qualifies when the probed streaming hop fits the
@@ -182,14 +214,20 @@ func (f *Fog) assign(p *Player) {
 			probes = append(probes, probe{sn, d})
 		}
 	}
+	f.probeScratch = probes
 	// Rank candidates by total serving-path delay: the probed streaming
 	// hop plus the supernode's advertised cloud→supernode update latency.
 	// The video for an action cannot be rendered before the update
-	// arrives, so both hops are on the response path.
-	sort.SliceStable(probes, func(i, j int) bool {
-		return probes[i].delay+probes[i].sn.UpdateLatency <
-			probes[j].delay+probes[j].sn.UpdateLatency
-	})
+	// arrives, so both hops are on the response path. A stable insertion
+	// sort keeps shortlist order among equal-delay candidates without the
+	// allocations of sort.SliceStable; the shortlist is at most
+	// cfg.Candidates long.
+	for i := 1; i < len(probes); i++ {
+		for j := i; j > 0 && probes[j].delay+probes[j].sn.UpdateLatency <
+			probes[j-1].delay+probes[j-1].sn.UpdateLatency; j-- {
+			probes[j], probes[j-1] = probes[j-1], probes[j]
+		}
+	}
 
 	for i, pr := range probes {
 		if pr.sn.Available() <= 0 {
@@ -203,8 +241,13 @@ func (f *Fog) assign(p *Player) {
 			StreamLatency: pr.delay,
 			UpdateLatency: pr.sn.UpdateLatency,
 		}
-		p.Backups = p.Backups[:0]
-		for _, b := range probes[i+1:] {
+		rest := probes[i+1:]
+		if cap(p.Backups) < len(rest) {
+			p.Backups = make([]*Supernode, 0, len(rest))
+		} else {
+			p.Backups = p.Backups[:0]
+		}
+		for _, b := range rest {
 			p.Backups = append(p.Backups, b.sn)
 		}
 		return
@@ -319,31 +362,19 @@ func (f *Fog) attachCloud(p *Player, estX, estY float64) {
 }
 
 // shortlist returns the k supernodes with available capacity closest to the
-// estimated position, using the cloud's geolocated supernode table.
+// estimated position, using the cloud's geolocated supernode table. The
+// spatial index answers in O(k log k + cells visited) and skips
+// zero-capacity and blacklisted supernodes during traversal; equal
+// distances break on supernode ID, so the shortlist is a deterministic
+// function of the registered set alone. The returned slice is scratch
+// owned by the Fog, valid until the next shortlist call.
 func (f *Fog) shortlist(x, y float64, k int) []*Supernode {
-	type entry struct {
-		sn *Supernode
-		d  float64
+	f.nbrScratch = f.snIdx.NearestInto(f.nbrScratch[:0], x, y, k, f.shortlistOK)
+	out := f.candScratch[:0]
+	for _, nb := range f.nbrScratch {
+		out = append(out, f.sns[nb.ID])
 	}
-	entries := make([]entry, 0, len(f.snOrder))
-	for _, sn := range f.snOrder {
-		if sn.Available() <= 0 {
-			continue
-		}
-		if f.cfg.Exclude != nil && f.cfg.Exclude(sn.ID) {
-			continue
-		}
-		est := f.snEstPos[sn.ID]
-		entries = append(entries, entry{sn, dist2(x, y, est.x, est.y)})
-	}
-	sort.SliceStable(entries, func(i, j int) bool { return entries[i].d < entries[j].d })
-	if len(entries) > k {
-		entries = entries[:k]
-	}
-	out := make([]*Supernode, len(entries))
-	for i, e := range entries {
-		out[i] = e.sn
-	}
+	f.candScratch = out
 	return out
 }
 

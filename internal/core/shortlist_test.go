@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"cloudfog/internal/geo"
+	"cloudfog/internal/sim"
+)
+
+// shortlistReference is the pre-index shortlist kept as the oracle: a full
+// scan over the geolocated supernode table plus a sort. Ties break on
+// supernode ID, matching the spatial index's determinism contract.
+func shortlistReference(f *Fog, x, y float64, k int) []*Supernode {
+	type entry struct {
+		sn *Supernode
+		d  float64
+	}
+	entries := make([]entry, 0, len(f.snOrder))
+	for _, sn := range f.snOrder {
+		if sn.Available() <= 0 {
+			continue
+		}
+		if f.cfg.Exclude != nil && f.cfg.Exclude(sn.ID) {
+			continue
+		}
+		est := f.snEstPos[sn.ID]
+		entries = append(entries, entry{sn, dist2(x, y, est.x, est.y)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].d != entries[j].d {
+			return entries[i].d < entries[j].d
+		}
+		return entries[i].sn.ID < entries[j].sn.ID
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	out := make([]*Supernode, len(entries))
+	for i, e := range entries {
+		out[i] = e.sn
+	}
+	return out
+}
+
+// buildRandomFog assembles a fog with S supernodes at clustered positions;
+// a slice of duplicated positions forces exact distance ties.
+func buildRandomFog(t testing.TB, cfg Config, s int, rng *sim.Rand) *Fog {
+	t.Helper()
+	placer := geo.DefaultUSPlacer()
+	center := cfg.Region.Center()
+	dcs := []*Datacenter{
+		NewDatacenter(2_000_000, geo.Point{X: center.X - 800, Y: center.Y}, cfg.DCEgress),
+		NewDatacenter(2_000_001, geo.Point{X: center.X + 800, Y: center.Y}, cfg.DCEgress),
+	}
+	sns := make([]*Supernode, s)
+	for i := range sns {
+		pos := placer.Place(rng)
+		if i > 0 && rng.Float64() < 0.1 {
+			pos = sns[rng.Intn(i)].Pos // coincident position → distance tie
+		}
+		capacity := 1 + rng.Intn(6)
+		sns[i] = NewSupernode(1_000_000+int64(i), pos, capacity, int64(capacity)*cfg.UplinkPerSlot)
+	}
+	// Shuffled registration order: the shortlist must not depend on it.
+	for i := len(sns) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		sns[i], sns[j] = sns[j], sns[i]
+	}
+	f, err := BuildFog(cfg, dcs, sns, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestShortlistMatchesReference is the property test for the tentpole: on
+// randomized instances — varying supernode counts, k, capacity exhaustion,
+// Exclude blacklists, churned registrations — the spatial-indexed shortlist
+// must return exactly the same supernodes in the same order as the naive
+// scan-and-sort reference.
+func TestShortlistMatchesReference(t *testing.T) {
+	rng := sim.NewRand(20260805)
+	for trial := 0; trial < 40; trial++ {
+		cfg := testConfig()
+		if trial%2 == 1 {
+			cfg.Locator.ErrorSigma = 120 // noisy geolocation; clamped estimates
+		}
+		if trial%5 == 2 {
+			cfg.Exclude = func(id int64) bool { return id%4 == 0 }
+		}
+		s := 1 + rng.Intn(300)
+		f := buildRandomFog(t, cfg, s, rng)
+
+		// Churn the registration set: deregister a few, re-register fresh
+		// instances, so the index has seen removes as well as inserts.
+		for _, sn := range append([]*Supernode(nil), f.snOrder...) {
+			if rng.Float64() < 0.15 {
+				spec := *sn
+				f.DeregisterSupernode(sn.ID)
+				if rng.Float64() < 0.5 {
+					fresh := NewSupernode(spec.ID, spec.Pos, spec.Capacity, spec.Uplink)
+					if err := f.RegisterSupernode(fresh); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		// Exhaust a random subset of supernode capacity so the filter has
+		// zero-capacity nodes to skip mid-traversal.
+		pid := int64(1)
+		for _, sn := range f.snOrder {
+			if rng.Float64() < 0.3 {
+				for sn.Available() > 0 {
+					sn.players[pid] = &Player{ID: pid}
+					pid++
+				}
+			}
+		}
+
+		for q := 0; q < 25; q++ {
+			x := rng.Float64() * cfg.Region.Width
+			y := rng.Float64() * cfg.Region.Height
+			k := 1 + rng.Intn(30)
+			got := f.shortlist(x, y, k)
+			want := shortlistReference(f, x, y, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query %d (S=%d k=%d): got %d candidates, reference %d",
+					trial, q, s, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d query %d (S=%d k=%d): position %d: got supernode %d, reference %d",
+						trial, q, s, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestShortlistSkipsExhaustedAndExcluded pins the two traversal filters.
+func TestShortlistSkipsExhaustedAndExcluded(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exclude = func(id int64) bool { return id == 1_000_003 }
+	f := buildTestFog(t, cfg, 10)
+	full := f.sns[1_000_001]
+	for full.Available() > 0 {
+		full.players[int64(1000+full.Load())] = &Player{}
+	}
+	got := f.shortlist(cfg.Region.Center().X, cfg.Region.Center().Y, 10)
+	if len(got) != 8 {
+		t.Fatalf("shortlist returned %d of 10 supernodes, want 8 (one full, one excluded)", len(got))
+	}
+	for _, sn := range got {
+		if sn.ID == 1_000_001 || sn.ID == 1_000_003 {
+			t.Fatalf("shortlist returned filtered supernode %d", sn.ID)
+		}
+	}
+}
+
+// --- Shortlist microbenchmarks: the scaling curve toward millions of
+// users. BenchmarkShortlist queries the spatial index; the Naive variant
+// runs the scan-and-sort reference on the identical fog. ---
+
+func benchFogAt(b *testing.B, s int) *Fog {
+	b.Helper()
+	cfg := DefaultConfig(17)
+	return buildRandomFog(b, cfg, s, sim.NewRand(int64(s)))
+}
+
+func BenchmarkShortlist(b *testing.B) {
+	for _, s := range []int{600, 5_000, 50_000} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			f := benchFogAt(b, s)
+			rng := sim.NewRand(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := rng.Float64() * f.cfg.Region.Width
+				y := rng.Float64() * f.cfg.Region.Height
+				if got := f.shortlist(x, y, f.cfg.Candidates); len(got) == 0 {
+					b.Fatal("empty shortlist")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkShortlistNaive(b *testing.B) {
+	for _, s := range []int{600, 5_000, 50_000} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			f := benchFogAt(b, s)
+			rng := sim.NewRand(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := rng.Float64() * f.cfg.Region.Width
+				y := rng.Float64() * f.cfg.Region.Height
+				if got := shortlistReference(f, x, y, f.cfg.Candidates); len(got) == 0 {
+					b.Fatal("empty shortlist")
+				}
+			}
+		})
+	}
+}

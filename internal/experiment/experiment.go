@@ -39,6 +39,12 @@ type Config struct {
 	EdgeServers        int
 	EdgeServerCapacity int
 	EdgeServerEgress   int64
+
+	// SweepWorkers bounds the worker pool the figure sweeps run their
+	// independent points on: 0 (the default) means one worker per
+	// available CPU, 1 forces the serial path. Series values are
+	// identical at any setting; see sweepPoints.
+	SweepWorkers int
 }
 
 // Default returns the paper-default configuration.
@@ -322,28 +328,46 @@ func gameForRequirement(req time.Duration) (game.Game, error) {
 // a run where every player plays the game with that requirement, matching
 // the paper's "different network latency requirements of games".
 func CoverageVsDatacenters(w *World, dcCounts []int, reqs []time.Duration) ([]metrics.Series, error) {
+	return coverageSweep(w, dcCounts, reqs, func(pw *World, n int) (core.System, error) {
+		return pw.NewCloud(n)
+	})
+}
+
+// coverageSweep runs one coverage figure: every (count, requirement) pair
+// is an independent point — a fresh system, a full join of the population
+// on the requirement's game, a coverage measurement — so the pairs run on
+// the sweep worker pool, each writing its preallocated series cell.
+func coverageSweep(w *World, counts []int, reqs []time.Duration,
+	build func(pw *World, n int) (core.System, error)) ([]metrics.Series, error) {
+	games := make([]game.Game, len(reqs))
 	series := make([]metrics.Series, len(reqs))
 	for i, req := range reqs {
-		series[i].Label = fmt.Sprintf("req=%dms", req.Milliseconds())
-	}
-	for _, n := range dcCounts {
-		for i, req := range reqs {
-			g, err := gameForRequirement(req)
-			if err != nil {
-				return nil, err
-			}
-			sys, err := w.NewCloud(n)
-			if err != nil {
-				return nil, err
-			}
-			players := w.JoinAllGame(sys, w.Cfg.Players, g)
-			var cov metrics.Coverage
-			for _, p := range players {
-				cov.Observe(sys.NetworkLatency(p), req)
-			}
-			series[i].Add(float64(n), cov.Fraction())
-			w.LeaveAll(sys, players)
+		g, err := gameForRequirement(req)
+		if err != nil {
+			return nil, err
 		}
+		games[i] = g
+		series[i].Label = fmt.Sprintf("req=%dms", req.Milliseconds())
+		series[i].Points = make([]metrics.Point, len(counts))
+	}
+	err := w.sweepPoints(len(counts)*len(reqs), func(pw *World, pt int) error {
+		ci, ri := pt/len(reqs), pt%len(reqs)
+		n := counts[ci]
+		sys, err := build(pw, n)
+		if err != nil {
+			return err
+		}
+		players := pw.JoinAllGame(sys, pw.Cfg.Players, games[ri])
+		var cov metrics.Coverage
+		for _, p := range players {
+			cov.Observe(sys.NetworkLatency(p), reqs[ri])
+		}
+		series[ri].Points[ci] = metrics.Point{X: float64(n), Y: cov.Fraction()}
+		pw.LeaveAll(sys, players)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return series, nil
 }
@@ -351,69 +375,44 @@ func CoverageVsDatacenters(w *World, dcCounts []int, reqs []time.Duration) ([]me
 // CoverageVsSupernodes reproduces Figure 5(b): coverage as supernodes are
 // added to the default datacenter deployment.
 func CoverageVsSupernodes(w *World, snCounts []int, reqs []time.Duration) ([]metrics.Series, error) {
-	series := make([]metrics.Series, len(reqs))
-	for i, req := range reqs {
-		series[i].Label = fmt.Sprintf("req=%dms", req.Milliseconds())
-	}
-	for _, n := range snCounts {
-		for i, req := range reqs {
-			g, err := gameForRequirement(req)
-			if err != nil {
-				return nil, err
-			}
-			sys, err := w.NewFog(w.Cfg.Datacenters, n)
-			if err != nil {
-				return nil, err
-			}
-			players := w.JoinAllGame(sys, w.Cfg.Players, g)
-			var cov metrics.Coverage
-			for _, p := range players {
-				cov.Observe(sys.NetworkLatency(p), req)
-			}
-			series[i].Add(float64(n), cov.Fraction())
-			w.LeaveAll(sys, players)
-		}
-	}
-	return series, nil
+	return coverageSweep(w, snCounts, reqs, func(pw *World, n int) (core.System, error) {
+		return pw.NewFog(pw.Cfg.Datacenters, n)
+	})
 }
 
 // BandwidthVsPlayers reproduces Figure 7(a): the cloud's video egress as
 // the number of concurrent players grows, for Cloud, EdgeCloud and
 // CloudFog/B. Values are in Mbit/s.
 func BandwidthVsPlayers(w *World, playerCounts []int) ([]metrics.Series, error) {
-	cloud := metrics.Series{Label: "Cloud"}
-	edge := metrics.Series{Label: "EdgeCloud"}
-	fog := metrics.Series{Label: "CloudFog/B"}
-	for _, n := range playerCounts {
-		{
-			sys, err := w.NewCloud(w.Cfg.Datacenters)
-			if err != nil {
-				return nil, err
-			}
-			players := w.JoinAll(sys, n)
-			cloud.Add(float64(n), float64(sys.CloudBandwidth())/1e6)
-			w.LeaveAll(sys, players)
-		}
-		{
-			sys, err := w.NewEdgeCloud(w.Cfg.Datacenters)
-			if err != nil {
-				return nil, err
-			}
-			players := w.JoinAll(sys, n)
-			edge.Add(float64(n), float64(sys.CloudBandwidth())/1e6)
-			w.LeaveAll(sys, players)
-		}
-		{
-			sys, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
-			if err != nil {
-				return nil, err
-			}
-			players := w.JoinAll(sys, n)
-			fog.Add(float64(n), float64(sys.CloudBandwidth())/1e6)
-			w.LeaveAll(sys, players)
-		}
+	builds := []struct {
+		label string
+		build func(pw *World) (core.System, error)
+	}{
+		{"Cloud", func(pw *World) (core.System, error) { return pw.NewCloud(pw.Cfg.Datacenters) }},
+		{"EdgeCloud", func(pw *World) (core.System, error) { return pw.NewEdgeCloud(pw.Cfg.Datacenters) }},
+		{"CloudFog/B", func(pw *World) (core.System, error) { return pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes) }},
 	}
-	return []metrics.Series{cloud, edge, fog}, nil
+	series := make([]metrics.Series, len(builds))
+	for i, b := range builds {
+		series[i].Label = b.label
+		series[i].Points = make([]metrics.Point, len(playerCounts))
+	}
+	err := w.sweepPoints(len(playerCounts)*len(builds), func(pw *World, pt int) error {
+		ci, si := pt/len(builds), pt%len(builds)
+		n := playerCounts[ci]
+		sys, err := builds[si].build(pw)
+		if err != nil {
+			return err
+		}
+		players := pw.JoinAll(sys, n)
+		series[si].Points[ci] = metrics.Point{X: float64(n), Y: float64(sys.CloudBandwidth()) / 1e6}
+		pw.LeaveAll(sys, players)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return series, nil
 }
 
 // LatencyResult is one system's average response network latency (Fig. 8).
@@ -429,56 +428,43 @@ type LatencyResult struct {
 // scale. CloudFog/A uses the flow-level adaptation proxy (encoders step
 // down until the segment fits the game's budget).
 func ResponseLatency(w *World) ([]LatencyResult, error) {
-	out := make([]LatencyResult, 0, 4)
-
-	collect := func(name string, sys core.System, adapted bool) error {
-		players := w.JoinAll(sys, w.Cfg.Players)
+	systems := []struct {
+		name    string
+		build   func(pw *World) (core.System, error)
+		adapted bool
+	}{
+		{"Cloud", func(pw *World) (core.System, error) { return pw.NewCloud(pw.Cfg.Datacenters) }, false},
+		{"EdgeCloud", func(pw *World) (core.System, error) { return pw.NewEdgeCloud(pw.Cfg.Datacenters) }, false},
+		{"CloudFog/B", func(pw *World) (core.System, error) { return pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes) }, false},
+		{"CloudFog/A", func(pw *World) (core.System, error) { return pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes) }, true},
+	}
+	out := make([]LatencyResult, len(systems))
+	err := w.sweepPoints(len(systems), func(pw *World, i int) error {
+		sys, err := systems[i].build(pw)
+		if err != nil {
+			return err
+		}
+		players := pw.JoinAll(sys, pw.Cfg.Players)
 		var ds metrics.DurationSample
 		for _, p := range players {
 			var l time.Duration
-			if adapted {
-				l = core.AdaptedFlowLatency(w.Cfg.Core, p)
+			if systems[i].adapted {
+				l = core.AdaptedFlowLatency(pw.Cfg.Core, p)
 			} else {
 				l = sys.NetworkLatency(p)
 			}
 			ds.Add(l + game.PlayoutDelay)
 		}
-		out = append(out, LatencyResult{
-			System: name,
+		out[i] = LatencyResult{
+			System: systems[i].name,
 			Mean:   ds.Mean(),
 			Median: ds.Median(),
 			P90:    ds.Percentile(90),
-		})
-		w.LeaveAll(sys, players)
+		}
+		pw.LeaveAll(sys, players)
 		return nil
-	}
-
-	cloud, err := w.NewCloud(w.Cfg.Datacenters)
+	})
 	if err != nil {
-		return nil, err
-	}
-	if err := collect("Cloud", cloud, false); err != nil {
-		return nil, err
-	}
-	edge, err := w.NewEdgeCloud(w.Cfg.Datacenters)
-	if err != nil {
-		return nil, err
-	}
-	if err := collect("EdgeCloud", edge, false); err != nil {
-		return nil, err
-	}
-	fogB, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
-	if err != nil {
-		return nil, err
-	}
-	if err := collect("CloudFog/B", fogB, false); err != nil {
-		return nil, err
-	}
-	fogA, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
-	if err != nil {
-		return nil, err
-	}
-	if err := collect("CloudFog/A", fogA, true); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -73,36 +73,40 @@ func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.D
 // for `horizon` of virtual time on every serving node.
 func ContinuityVsPlayers(w *World, counts []int, horizon time.Duration) ([]metrics.Series, error) {
 	systems := []struct {
-		label   string
-		build   func() (core.System, error)
-		opts    qoe.Options
-		variant string
+		label string
+		build func(pw *World) (core.System, error)
+		opts  qoe.Options
 	}{
-		{"Cloud", func() (core.System, error) { return w.NewCloud(w.Cfg.Datacenters) }, qoe.BasicOptions(), "basic"},
-		{"EdgeCloud", func() (core.System, error) { return w.NewEdgeCloud(w.Cfg.Datacenters) }, qoe.BasicOptions(), "basic"},
-		{"CloudFog/B", func() (core.System, error) { return w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes) }, qoe.BasicOptions(), "basic"},
-		{"CloudFog/A", func() (core.System, error) { return w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes) }, qoe.DefaultOptions(), "full"},
+		{"Cloud", func(pw *World) (core.System, error) { return pw.NewCloud(pw.Cfg.Datacenters) }, qoe.BasicOptions()},
+		{"EdgeCloud", func(pw *World) (core.System, error) { return pw.NewEdgeCloud(pw.Cfg.Datacenters) }, qoe.BasicOptions()},
+		{"CloudFog/B", func(pw *World) (core.System, error) { return pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes) }, qoe.BasicOptions()},
+		{"CloudFog/A", func(pw *World) (core.System, error) { return pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes) }, qoe.DefaultOptions()},
 	}
 	series := make([]metrics.Series, len(systems))
 	for i, sys := range systems {
 		series[i].Label = sys.label
+		series[i].Points = make([]metrics.Point, len(counts))
 	}
-	for _, n := range counts {
-		for i, sd := range systems {
-			sys, err := sd.build()
-			if err != nil {
-				return nil, err
-			}
-			players := w.JoinAll(sys, n)
-			opts := sd.opts
-			opts.Seed = w.Cfg.Seed + int64(n)
-			sum, err := groupRun(w, players, opts, horizon)
-			if err != nil {
-				return nil, err
-			}
-			series[i].Add(float64(n), sum.MeanContinuity)
-			w.LeaveAll(sys, players)
+	err := w.sweepPoints(len(counts)*len(systems), func(pw *World, pt int) error {
+		ci, si := pt/len(systems), pt%len(systems)
+		n := counts[ci]
+		sys, err := systems[si].build(pw)
+		if err != nil {
+			return err
 		}
+		players := pw.JoinAll(sys, n)
+		opts := systems[si].opts
+		opts.Seed = pw.Cfg.Seed + int64(n)
+		sum, err := groupRun(pw, players, opts, horizon)
+		if err != nil {
+			return err
+		}
+		series[si].Points[ci] = metrics.Point{X: float64(n), Y: sum.MeanContinuity}
+		pw.LeaveAll(sys, players)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return series, nil
 }
@@ -206,26 +210,31 @@ func StrategyEffect(w *World, loads []int, horizon time.Duration, adaptation, sc
 	if scheduling && adaptation {
 		label = "CloudFog/A"
 	}
-	with := metrics.Series{Label: label}
-	without := metrics.Series{Label: "CloudFog/B"}
-	for _, k := range loads {
-		uplink, specs := w.SupernodeScenario(k)
+	with := metrics.Series{Label: label, Points: make([]metrics.Point, len(loads))}
+	without := metrics.Series{Label: "CloudFog/B", Points: make([]metrics.Point, len(loads))}
+	err := w.sweepPoints(len(loads), func(pw *World, i int) error {
+		k := loads[i]
+		uplink, specs := pw.SupernodeScenario(k)
 
 		opts := qoe.BasicOptions()
-		opts.Seed = w.Cfg.Seed + int64(k)
+		opts.Seed = pw.Cfg.Seed + int64(k)
 		resB, err := qoe.RunNode(opts, uplink, specs, horizon)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		without.Add(float64(k), qoe.Summarize(resB).SatisfiedFrac)
+		without.Points[i] = metrics.Point{X: float64(k), Y: qoe.Summarize(resB).SatisfiedFrac}
 
 		opts.Adaptation = adaptation
 		opts.Scheduling = scheduling
 		resW, err := qoe.RunNode(opts, uplink, specs, horizon)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		with.Add(float64(k), qoe.Summarize(resW).SatisfiedFrac)
+		with.Points[i] = metrics.Point{X: float64(k), Y: qoe.Summarize(resW).SatisfiedFrac}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []metrics.Series{without, with}, nil
 }

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cloudfog/internal/metrics"
+)
+
+// sweepTestWorlds builds two identical small worlds, one forced serial and
+// one on a 4-worker pool, so every figure can be compared bit-for-bit.
+func sweepTestWorlds(t *testing.T) (serial, parallel *World) {
+	t.Helper()
+	build := func(workers int) *World {
+		cfg := Default(77)
+		cfg.Players = 800
+		cfg.Supernodes = 60
+		cfg.SweepWorkers = workers
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	return build(1), build(4)
+}
+
+func mustSeries(t *testing.T, s []metrics.Series, err error) []metrics.Series {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestParallelSweepsMatchSerial is the determinism acceptance test: for a
+// fixed seed, every figure's series must be bit-identical whether the
+// sweep points run serially or on the worker pool.
+func TestParallelSweepsMatchSerial(t *testing.T) {
+	ws, wp := sweepTestWorlds(t)
+	reqs := []time.Duration{30 * time.Millisecond, 70 * time.Millisecond, 110 * time.Millisecond}
+
+	checks := []struct {
+		name string
+		run  func(w *World) (interface{}, error)
+	}{
+		{"CoverageVsDatacenters", func(w *World) (interface{}, error) {
+			return CoverageVsDatacenters(w, []int{1, 3, 5}, reqs)
+		}},
+		{"CoverageVsSupernodes", func(w *World) (interface{}, error) {
+			return CoverageVsSupernodes(w, []int{0, 20, 60}, reqs)
+		}},
+		{"BandwidthVsPlayers", func(w *World) (interface{}, error) {
+			return BandwidthVsPlayers(w, []int{200, 500, 800})
+		}},
+		{"ResponseLatency", func(w *World) (interface{}, error) {
+			return ResponseLatency(w)
+		}},
+		{"ContinuityVsPlayers", func(w *World) (interface{}, error) {
+			return ContinuityVsPlayers(w, []int{200, 400}, 2*time.Second)
+		}},
+		{"AdaptationEffect", func(w *World) (interface{}, error) {
+			return AdaptationEffect(w, []int{5, 10}, 2*time.Second)
+		}},
+	}
+	for _, c := range checks {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.run(ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.run(wp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("serial and parallel outputs differ\nserial:   %+v\nparallel: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestCloneIsolation: joining players in a clone must not leak runtime
+// state into the original world's players.
+func TestCloneIsolation(t *testing.T) {
+	ws, _ := sweepTestWorlds(t)
+	cw := ws.Clone()
+	sys, err := cw.NewFog(cw.Cfg.Datacenters, cw.Cfg.Supernodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	players := cw.JoinAll(sys, 300)
+	if len(players) == 0 {
+		t.Fatal("no players joined in clone")
+	}
+	for _, p := range ws.Pop.Players {
+		if p.Online || p.Attached.Served() || p.Backups != nil {
+			t.Fatalf("player %d in the original world picked up clone state", p.ID)
+		}
+	}
+	// Shared immutable spec: same IDs and positions in both worlds.
+	for i, p := range ws.Pop.Players {
+		cp := cw.Pop.Players[i]
+		if p.ID != cp.ID || p.Pos != cp.Pos {
+			t.Fatalf("clone changed player %d's spec", p.ID)
+		}
+	}
+}
+
+// TestSweepSerialFastPathUsesOriginalWorld: with one worker the sweep must
+// run on the original world (no clone), preserving pre-harness behavior.
+func TestSweepSerialFastPathUsesOriginalWorld(t *testing.T) {
+	ws, _ := sweepTestWorlds(t)
+	err := ws.sweepPoints(3, func(pw *World, i int) error {
+		if pw != ws {
+			t.Fatal("serial sweep did not run on the original world")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
