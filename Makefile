@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-all verify
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench runs the headline benchmarks (engine, QoE node, Fig 9-11 sweeps)
+# and writes them machine-readably to BENCH_PR2.json so perf PRs commit
+# their before/after numbers.
 bench:
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR2.json
+
+# bench-all runs the full per-figure benchmark suite.
+bench-all:
 	$(GO) test -run XXX -bench . -benchmem .
 
 # verify is the CI gate: static checks plus the race-enabled suite.

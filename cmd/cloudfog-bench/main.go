@@ -1,0 +1,139 @@
+// cloudfog-bench runs the headline performance benchmarks and writes the
+// results as JSON (name → ns/op, B/op, allocs/op), so the repo's perf
+// trajectory is machine-readable: each perf PR commits its numbers as
+// BENCH_PR<n>.json and later PRs can diff against them.
+//
+// The headline set mirrors the hot paths the figure sweeps ride: the event
+// engine, one QoE serving node, and the three figure-level sweep
+// simulations (Figs. 9a, 10a, 11a at bench scale).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"cloudfog/internal/experiment"
+	"cloudfog/internal/game"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/qoe"
+	"cloudfog/internal/sim"
+)
+
+// Result is one benchmark's record in the output JSON.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+func record(out map[string]Result, name string, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	out[name] = Result{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+	fmt.Printf("%-28s %12.1f ns/op %12d B/op %10d allocs/op\n",
+		name, out[name].NsPerOp, out[name].BytesPerOp, out[name].AllocsPerOp)
+}
+
+func benchWorld() *experiment.World {
+	cfg := experiment.Default(2026)
+	cfg.Players = 2500
+	cfg.Supernodes = 200
+	cfg.EdgeServers = 20
+	w, err := experiment.NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func main() {
+	outPath := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	flag.Parse()
+
+	results := make(map[string]Result)
+
+	record(results, "EngineEvents", func(b *testing.B) {
+		b.ReportAllocs()
+		engine := sim.New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				engine.Schedule(time.Millisecond, tick)
+			}
+		}
+		engine.Schedule(time.Millisecond, tick)
+		b.ResetTimer()
+		engine.Run()
+	})
+
+	record(results, "QoENode", func(b *testing.B) {
+		b.ReportAllocs()
+		g, _ := game.ByID(4)
+		specs := make([]qoe.PlayerSpec, 10)
+		for i := range specs {
+			specs[i] = qoe.PlayerSpec{
+				ID: int64(i), Game: g,
+				Latency:      20 * time.Millisecond,
+				InboundDelay: 20 * time.Millisecond,
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := qoe.RunNode(qoe.DefaultOptions(), 20_000_000, specs, 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	w := benchWorld()
+	record(results, "Fig9aContinuitySim", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.ContinuityVsPlayers(w, []int{400}, 8*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record(results, "Fig10aAdaptationSim", func(b *testing.B) {
+		b.ReportAllocs()
+		var series []metrics.Series
+		for i := 0; i < b.N; i++ {
+			var err error
+			series, err = experiment.AdaptationEffect(w, []int{5, 30}, 40*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = series
+	})
+	record(results, "Fig11aSchedulingSim", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.SchedulingEffect(w, []int{5, 30}, 40*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfog-bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfog-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *outPath)
+}

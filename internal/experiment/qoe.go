@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -14,6 +13,15 @@ import (
 	"cloudfog/internal/workload"
 )
 
+// nodeKey identifies a serving node when partitioning players: datacenters
+// (cloud and edge attachments share the DC egress) sort before supernodes,
+// then by node id. A comparable struct key costs no allocation per player,
+// unlike the fmt.Sprintf string keys it replaced.
+type nodeKey struct {
+	kind uint8 // 0 = datacenter (cloud or edge), 1 = supernode
+	id   int64
+}
+
 // groupRun partitions the joined players by serving node, runs the
 // segment-level QoE simulation per node, and aggregates all players.
 func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.Duration) (qoe.Summary, error) {
@@ -21,20 +29,20 @@ func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.D
 		uplink int64
 		specs  []qoe.PlayerSpec
 	}
-	groups := make(map[string]*group)
+	groups := make(map[nodeKey]*group)
 	for _, p := range players {
 		a := p.Attached
 		if !a.Served() {
 			continue
 		}
-		var key string
+		var key nodeKey
 		var uplink int64
 		switch a.Kind {
 		case core.AttachSupernode:
-			key = fmt.Sprintf("sn%d", a.SN.ID)
+			key = nodeKey{kind: 1, id: a.SN.ID}
 			uplink = a.SN.Uplink
 		case core.AttachCloud, core.AttachEdge:
-			key = fmt.Sprintf("dc%d", a.DC.ID)
+			key = nodeKey{kind: 0, id: a.DC.ID}
 			uplink = a.DC.Egress
 		}
 		g := groups[key]
@@ -49,11 +57,16 @@ func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.D
 			InboundDelay: a.UpdateLatency,
 		})
 	}
-	keys := make([]string, 0, len(groups))
+	keys := make([]nodeKey, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].kind != keys[b].kind {
+			return keys[a].kind < keys[b].kind
+		}
+		return keys[a].id < keys[b].id
+	})
 
 	var all []qoe.PlayerResult
 	for _, k := range keys {

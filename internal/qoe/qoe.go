@@ -105,6 +105,12 @@ type PlayerResult struct {
 }
 
 // ServerSim simulates one serving node streaming to its players.
+//
+// The per-segment path (generate → enqueue → pump → transmit → deliver, one
+// cycle per player per frame) is allocation-free in steady state: events ride
+// the engine's payload variant through callbacks bound once at construction
+// instead of per-event closures, and segments are recycled through a
+// per-run pool once the buffer or receiver is done with them.
 type ServerSim struct {
 	engine *sim.Engine
 	opts   Options
@@ -116,6 +122,15 @@ type ServerSim struct {
 	rng       *sim.Rand
 	busy      bool
 	started   bool
+
+	// Pre-bound payload callbacks: binding a method value once here keeps
+	// SchedulePayload from allocating a fresh closure per event.
+	generateFn func(any)
+	estimateFn func(any)
+	transmitFn func(any)
+	deliverFn  func(any)
+
+	segPool []*stream.Segment
 }
 
 type session struct {
@@ -148,14 +163,36 @@ func NewServerSim(engine *sim.Engine, opts Options, uplink int64) (*ServerSim, e
 	schedCfg := opts.Sched
 	schedCfg.EDF = opts.Scheduling
 	schedCfg.DropEnabled = opts.Scheduling
-	return &ServerSim{
+	s := &ServerSim{
 		engine:    engine,
 		opts:      opts,
 		buffer:    sched.NewBuffer(schedCfg, opts.Stream, uplink),
 		uplink:    uplink,
 		sessionBy: make(map[int64]*session),
 		rng:       sim.NewRand(opts.Seed),
-	}, nil
+	}
+	s.generateFn = s.generate
+	s.estimateFn = s.estimate
+	s.transmitFn = s.transmitted
+	s.deliverFn = s.deliver
+	return s, nil
+}
+
+// getSegment takes a segment from the per-run pool (or allocates the pool's
+// first copies); putSegment returns one once no queue, meter, or receiver
+// will touch it again.
+func (s *ServerSim) getSegment() *stream.Segment {
+	if n := len(s.segPool); n > 0 {
+		seg := s.segPool[n-1]
+		s.segPool[n-1] = nil
+		s.segPool = s.segPool[:n-1]
+		return seg
+	}
+	return new(stream.Segment)
+}
+
+func (s *ServerSim) putSegment(seg *stream.Segment) {
+	s.segPool = append(s.segPool, seg)
 }
 
 // AddPlayer attaches a player before Start.
@@ -197,12 +234,11 @@ func (s *ServerSim) Start() {
 	period := s.opts.Stream.SegmentDuration
 	for i, ss := range s.sessions {
 		offset := time.Duration(int64(period) * int64(i) / int64(n))
-		ss := ss
-		s.engine.Schedule(offset, func() { s.generate(ss) })
+		s.engine.SchedulePayload(offset, s.generateFn, ss)
 		if ss.ctrl != nil {
 			// Periodic receiver-side occupancy estimation (§III-B: the
 			// client calculates r a number of times consecutively).
-			s.engine.Schedule(offset, func() { s.estimate(ss) })
+			s.engine.SchedulePayload(offset, s.estimateFn, ss)
 		}
 	}
 }
@@ -211,7 +247,8 @@ func (s *ServerSim) Start() {
 // buffered-size estimate integrates download rate minus playback rate) and
 // applies any resulting encoding-level change, then schedules the next
 // calculation.
-func (s *ServerSim) estimate(ss *session) {
+func (s *ServerSim) estimate(arg any) {
+	ss := arg.(*session)
 	now := s.engine.Now()
 	ss.recv.Advance(now)
 	dt := (now - ss.lastTick).Seconds()
@@ -234,7 +271,7 @@ func (s *ServerSim) estimate(ss *session) {
 		ss.recv.SetPlaybackBitrate(lvl.Bitrate)
 		ss.levelMoves++
 	}
-	s.engine.Schedule(s.estimationInterval(), func() { s.estimate(ss) })
+	s.engine.SchedulePayload(s.estimationInterval(), s.estimateFn, ss)
 }
 
 func (s *ServerSim) estimationInterval() time.Duration {
@@ -246,10 +283,12 @@ func (s *ServerSim) estimationInterval() time.Duration {
 
 // generate produces the next segment of a session and schedules the
 // following one a frame interval later.
-func (s *ServerSim) generate(ss *session) {
+func (s *ServerSim) generate(arg any) {
+	ss := arg.(*session)
 	now := s.engine.Now()
 	actionTime := now - ss.spec.InboundDelay
-	seg := ss.encoder.Encode(actionTime, now, ss.spec.Game)
+	seg := s.getSegment()
+	ss.encoder.EncodeInto(seg, actionTime, now, ss.spec.Game)
 	if sigma := s.opts.SizeJitterSigma; sigma > 0 {
 		// Mean-one lognormal frame-size variation: E[e^(N(-s²/2, s))] = 1.
 		mult := s.rng.LogNormal(-sigma*sigma/2, sigma)
@@ -261,16 +300,20 @@ func (s *ServerSim) generate(ss *session) {
 	}
 	s.buffer.Enqueue(now, seg)
 	// Segments shed by the queue bound (the arrival or evicted lenient
-	// segments) are lost in full.
-	for _, ev := range s.buffer.TakeEvicted() {
-		if now >= s.opts.Warmup {
-			if owner := s.sessionFor(ev.PlayerID); owner != nil {
-				owner.meter.RecordSegment(ev, false)
+	// segments) are lost in full, and nothing touches them again.
+	if evicted := s.buffer.Evicted(); len(evicted) > 0 {
+		for _, ev := range evicted {
+			if now >= s.opts.Warmup {
+				if owner := s.sessionFor(ev.PlayerID); owner != nil {
+					owner.meter.RecordSegment(ev, false)
+				}
 			}
+			s.putSegment(ev)
 		}
+		s.buffer.ClearEvicted()
 	}
 	s.pump()
-	s.engine.Schedule(s.opts.Stream.SegmentDuration, func() { s.generate(ss) })
+	s.engine.SchedulePayload(s.opts.Stream.SegmentDuration, s.generateFn, ss)
 }
 
 // pump starts a transmission if the uplink is idle and segments are queued.
@@ -290,33 +333,40 @@ func (s *ServerSim) pump() {
 			if ss := s.sessionFor(seg.PlayerID); ss != nil && now >= s.opts.Warmup {
 				ss.meter.RecordSegment(seg, false)
 			}
+			s.putSegment(seg)
 			continue
 		}
 		s.busy = true
 		tx := s.buffer.TransmissionTime(seg)
-		s.engine.Schedule(tx, func() { s.transmitted(seg) })
+		s.engine.SchedulePayload(tx, s.transmitFn, seg)
 		return
 	}
 }
 
 // transmitted completes a segment's uplink transmission: it is delivered to
 // the player after its propagation latency, and the uplink moves on.
-func (s *ServerSim) transmitted(seg *stream.Segment) {
+func (s *ServerSim) transmitted(arg any) {
+	seg := arg.(*stream.Segment)
 	s.busy = false
 	ss := s.sessionFor(seg.PlayerID)
 	if ss != nil {
 		prop := ss.spec.Latency
-		arrival := s.engine.Now() + prop
 		s.buffer.RecordPropagation(seg.PlayerID, prop)
-		s.engine.Schedule(prop, func() { s.deliver(ss, seg, arrival) })
+		s.engine.SchedulePayload(prop, s.deliverFn, seg)
+	} else {
+		s.putSegment(seg)
 	}
 	s.pump()
 }
 
 // deliver lands a segment at the player: meters record on-time packets and
 // the receiver buffer absorbs the bytes; the adaptation controller observes
-// the new occupancy.
-func (s *ServerSim) deliver(ss *session, seg *stream.Segment, arrival time.Duration) {
+// the new occupancy. The deliver event fires exactly at the arrival time the
+// transmission computed, so arrival is the engine clock here.
+func (s *ServerSim) deliver(arg any) {
+	seg := arg.(*stream.Segment)
+	ss := s.sessionFor(seg.PlayerID)
+	arrival := s.engine.Now()
 	onTime := arrival <= seg.ExpectedArrival()
 	if arrival >= s.opts.Warmup {
 		ss.meter.RecordSegment(seg, onTime)
@@ -326,6 +376,7 @@ func (s *ServerSim) deliver(ss *session, seg *stream.Segment, arrival time.Durat
 	n := seg.RemainingBytes(s.opts.Stream.PacketSize)
 	ss.recv.OnArrival(arrival, n)
 	ss.bytesSinceTick += n
+	s.putSegment(seg)
 }
 
 func (s *ServerSim) sessionFor(id int64) *session { return s.sessionBy[id] }

@@ -57,14 +57,30 @@ func DefaultConfig() Config {
 }
 
 // Buffer is one supernode's sender-side segment queue.
+//
+// The queue is a head-indexed slice — queue[head:] is the live window —
+// so dequeues reuse the array instead of sliding the slice off its backing
+// storage, and steady-state enqueue/dequeue cycles stop allocating once the
+// buffer has seen its peak depth. queuedBytes tracks the remaining
+// (undropped) queued bytes incrementally at every enqueue, dequeue,
+// eviction, and packet drop, so the queue-bound check is O(1) per evicted
+// segment instead of the O(queue) rescan it used to cost — overload used to
+// degrade Enqueue to O(queue²).
 type Buffer struct {
 	cfg       Config
 	streamCfg stream.Config
 	bandwidth float64 // uplink λ_r in bits/second
 	queue     []*stream.Segment
+	head      int // queue[head:] is the live queue
 	maxBytes  int // 0 = unbounded
 	evicted   []*stream.Segment
 	prop      map[int64]*propEstimator
+
+	// queuedBytes mirrors the sum of RemainingBytes over the live queue.
+	// Queued segments must only shed packets through the buffer's own drop
+	// path for the counter to stay exact.
+	queuedBytes int
+	scratch     dropScratch
 
 	// Counters for metrics.
 	enqueued        int64
@@ -100,13 +116,21 @@ func NewBuffer(cfg Config, streamCfg stream.Config, bandwidthBits int64) *Buffer
 	}
 }
 
-// Len returns the number of segments queued.
-func (b *Buffer) Len() int { return len(b.queue) }
+// live returns the live queue window.
+func (b *Buffer) live() []*stream.Segment { return b.queue[b.head:] }
 
-// QueuedBytes returns the remaining (undropped) bytes queued.
-func (b *Buffer) QueuedBytes() int {
+// Len returns the number of segments queued.
+func (b *Buffer) Len() int { return len(b.queue) - b.head }
+
+// QueuedBytes returns the remaining (undropped) bytes queued. It reads the
+// incrementally-maintained counter, so it is O(1).
+func (b *Buffer) QueuedBytes() int { return b.queuedBytes }
+
+// recomputeQueuedBytes walks the live queue and sums remaining bytes — the
+// O(n) ground truth the counter must match; used by tests and assertions.
+func (b *Buffer) recomputeQueuedBytes() int {
 	total := 0
-	for _, s := range b.queue {
+	for _, s := range b.live() {
 		total += s.RemainingBytes(b.streamCfg.PacketSize)
 	}
 	return total
@@ -116,8 +140,25 @@ func (b *Buffer) QueuedBytes() int {
 // (rejected arrivals plus evictions).
 func (b *Buffer) TailDropped() int64 { return b.tailDropped }
 
+// Evicted returns the segments shed by the queue bound since the last
+// ClearEvicted (or TakeEvicted), so callers can account their packets as
+// lost. The returned slice is owned by the buffer; callers must finish with
+// it before the next Enqueue and then call ClearEvicted.
+func (b *Buffer) Evicted() []*stream.Segment { return b.evicted }
+
+// ClearEvicted forgets the evicted segments while keeping the backing array
+// for reuse — the allocation-free counterpart of TakeEvicted.
+func (b *Buffer) ClearEvicted() {
+	for i := range b.evicted {
+		b.evicted[i] = nil
+	}
+	b.evicted = b.evicted[:0]
+}
+
 // TakeEvicted returns the segments shed by the queue bound since the last
-// call, so callers can account their packets as lost.
+// call and detaches them from the buffer. Prefer Evicted+ClearEvicted in hot
+// loops: TakeEvicted hands over the backing array, so the next eviction
+// allocates a fresh one.
 func (b *Buffer) TakeEvicted() []*stream.Segment {
 	out := b.evicted
 	b.evicted = nil
@@ -166,41 +207,54 @@ func (b *Buffer) ForgetPlayer(playerID int64) { delete(b.prop, playerID) }
 // first (urgent video is worth more than lenient video that would miss its
 // deadline anyway), which may or may not include the arriving segment.
 // Enqueue reports whether the arriving segment was accepted; evicted
-// segments (including a rejected arrival) are retrievable once via
-// TakeEvicted so callers can account their packets as lost.
+// segments (including a rejected arrival) are retrievable via
+// Evicted/TakeEvicted so callers can account their packets as lost.
 func (b *Buffer) Enqueue(now time.Duration, seg *stream.Segment) bool {
 	seg.Enqueued = now
 	b.enqueued++
+	segBytes := seg.RemainingBytes(b.streamCfg.PacketSize)
 	if b.maxBytes > 0 {
-		segBytes := seg.RemainingBytes(b.streamCfg.PacketSize)
-		for b.QueuedBytes()+segBytes > b.maxBytes {
-			if !b.cfg.EDF || len(b.queue) == 0 ||
-				b.queue[len(b.queue)-1].ExpectedArrival() <= seg.ExpectedArrival() {
+		for b.queuedBytes+segBytes > b.maxBytes {
+			last := len(b.queue) - 1
+			if !b.cfg.EDF || last < b.head ||
+				b.queue[last].ExpectedArrival() <= seg.ExpectedArrival() {
 				// The arrival is the most expendable segment.
 				b.tailDropped++
 				b.evicted = append(b.evicted, seg)
 				return false
 			}
-			tail := b.queue[len(b.queue)-1]
-			b.queue[len(b.queue)-1] = nil
-			b.queue = b.queue[:len(b.queue)-1]
+			tail := b.queue[last]
+			b.queue[last] = nil
+			b.queue = b.queue[:last]
+			b.queuedBytes -= tail.RemainingBytes(b.streamCfg.PacketSize)
 			b.tailDropped++
 			b.evicted = append(b.evicted, tail)
 		}
 	}
-	at := len(b.queue)
+	// Make room for one more without growing past the peak live depth:
+	// compact the window back to the array start when the tail is full.
+	if len(b.queue) == cap(b.queue) && b.head > 0 {
+		n := copy(b.queue, b.queue[b.head:])
+		for i := n; i < len(b.queue); i++ {
+			b.queue[i] = nil
+		}
+		b.queue = b.queue[:n]
+		b.head = 0
+	}
+	q := b.live()
+	at := len(q)
 	if b.cfg.EDF {
 		// Insert in ascending order of expected arrival time; ties keep
 		// insertion order (stable with respect to earlier segments).
-		at = sort.Search(len(b.queue), func(i int) bool {
-			return b.queue[i].ExpectedArrival() > seg.ExpectedArrival()
+		at = sort.Search(len(q), func(i int) bool {
+			return q[i].ExpectedArrival() > seg.ExpectedArrival()
 		})
-		b.queue = append(b.queue, nil)
-		copy(b.queue[at+1:], b.queue[at:])
-		b.queue[at] = seg
-	} else {
-		b.queue = append(b.queue, seg)
 	}
+	b.queue = append(b.queue, nil)
+	q = b.live()
+	copy(q[at+1:], q[at:])
+	q[at] = seg
+	b.queuedBytes += segBytes
 	if b.cfg.DropEnabled {
 		b.repairDeadlines(now, at)
 	}
@@ -227,12 +281,17 @@ func (b *Buffer) Dequeue(now time.Duration) *stream.Segment {
 // segment's packets still count against playback continuity). It returns
 // nil when the buffer is empty.
 func (b *Buffer) DequeueAny(now time.Duration) *stream.Segment {
-	if len(b.queue) == 0 {
+	if b.head >= len(b.queue) {
 		return nil
 	}
-	seg := b.queue[0]
-	b.queue[0] = nil
-	b.queue = b.queue[1:]
+	seg := b.queue[b.head]
+	b.queue[b.head] = nil
+	b.head++
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
+	}
+	b.queuedBytes -= seg.RemainingBytes(b.streamCfg.PacketSize)
 	if seg.RemainingPackets() <= 0 {
 		b.fullyDropped++
 	} else {
@@ -243,10 +302,10 @@ func (b *Buffer) DequeueAny(now time.Duration) *stream.Segment {
 
 // Peek returns the head segment without removing it, or nil.
 func (b *Buffer) Peek() *stream.Segment {
-	if len(b.queue) == 0 {
+	if b.head >= len(b.queue) {
 		return nil
 	}
-	return b.queue[0]
+	return b.queue[b.head]
 }
 
 // TransmissionTime returns l_t for a segment at the buffer's uplink rate:
@@ -268,16 +327,17 @@ func (b *Buffer) packetTime() time.Duration {
 // delay l_q = np_i/λ_r for the bytes ahead of it, transmission l_t, and the
 // estimated propagation l_p to its player.
 func (b *Buffer) EstimateResponseLatency(now time.Duration, idx int) time.Duration {
-	if idx < 0 || idx >= len(b.queue) {
-		panic(fmt.Sprintf("sched: index %d out of range [0,%d)", idx, len(b.queue)))
+	q := b.live()
+	if idx < 0 || idx >= len(q) {
+		panic(fmt.Sprintf("sched: index %d out of range [0,%d)", idx, len(q)))
 	}
-	seg := b.queue[idx]
+	seg := q[idx]
 	elapsed := now - seg.ActionTime
 	if elapsed < 0 {
 		elapsed = 0
 	}
 	var precedingBytes int
-	for _, p := range b.queue[:idx] {
+	for _, p := range q[:idx] {
 		precedingBytes += p.RemainingBytes(b.streamCfg.PacketSize)
 	}
 	lq := time.Duration(float64(precedingBytes) * 8 / b.bandwidth * float64(time.Second))
@@ -291,7 +351,7 @@ func (b *Buffer) EstimateResponseLatency(now time.Duration, idx int) time.Durati
 // deficit D_i = (L_r - L̃_r)/σ and distributes drops over the segment and
 // its predecessors per Eq. 14, capped by each segment's loss-tolerance
 // budget. Earlier repairs shrink preceding segments, so later estimates see
-// the improvement.
+// the improvement. from is a live-queue index.
 func (b *Buffer) repairDeadlines(now time.Duration, from int) {
 	sigma := b.packetTime()
 	if sigma <= 0 {
@@ -303,14 +363,15 @@ func (b *Buffer) repairDeadlines(now time.Duration, from int) {
 	// budget; dropAcross only runs when the prefix can actually shed
 	// packets, which keeps steady-state overload (budgets exhausted) at
 	// O(queue) per enqueue instead of O(queue²).
+	q := b.live()
 	precedingBytes := 0
 	budgetAhead := 0
-	for _, p := range b.queue[:from] {
+	for _, p := range q[:from] {
 		precedingBytes += p.RemainingBytes(b.streamCfg.PacketSize)
 		budgetAhead += p.DropBudget()
 	}
-	for i := from; i < len(b.queue); i++ {
-		seg := b.queue[i]
+	for i := from; i < len(q); i++ {
+		seg := q[i]
 		elapsed := now - seg.ActionTime
 		if elapsed < 0 {
 			elapsed = 0
@@ -331,7 +392,7 @@ func (b *Buffer) repairDeadlines(now time.Duration, from int) {
 				b.dropAcross(now, i, deficit)
 				// Recompute the prefix up to i after drops.
 				precedingBytes, budgetAhead = 0, 0
-				for _, p := range b.queue[:i] {
+				for _, p := range q[:i] {
 					precedingBytes += p.RemainingBytes(b.streamCfg.PacketSize)
 					budgetAhead += p.DropBudget()
 				}
@@ -342,35 +403,146 @@ func (b *Buffer) repairDeadlines(now time.Duration, from int) {
 	}
 }
 
-// dropAcross drops up to deficit packets across queue[0..i] following
-// Eq. 14: segment k's share is proportional to L̃_t_k × φ_k with
+// dropAcross drops up to deficit packets across the live queue[0..i]
+// following Eq. 14: segment k's share is proportional to L̃_t_k × φ_k with
 // φ_k = e^{-λ t_k} (t_k = time waited in queue), subject to each segment's
 // loss-tolerance budget. Shares are integerized by largest remainder so the
-// allocated total matches the deficit whenever budgets allow.
+// allocated total matches the deficit whenever budgets allow. The weight,
+// budget and allocation slices live in the buffer's scratch space, so a
+// repair costs no slice allocations beyond the sort.
 func (b *Buffer) dropAcross(now time.Duration, i, deficit int) {
-	segs := b.queue[:i+1]
-	weights := make([]float64, len(segs))
-	budgets := make([]int, len(segs))
+	segs := b.live()[:i+1]
+	sc := &b.scratch
+	sc.reset(len(segs))
 	for k, s := range segs {
 		if b.cfg.UniformDrop {
-			weights[k] = 1
+			sc.weights[k] = 1
 		} else {
 			waited := (now - s.Enqueued).Seconds()
 			if waited < 0 {
 				waited = 0
 			}
 			phi := math.Exp(-b.cfg.Lambda * waited)
-			weights[k] = s.LossTolerance * phi
+			sc.weights[k] = s.LossTolerance * phi
 		}
-		budgets[k] = s.DropBudget()
+		sc.budgets[k] = s.DropBudget()
 	}
-	alloc := AllocateDrops(weights, budgets, deficit)
+	alloc := sc.allocate(deficit)
+	ps := b.streamCfg.PacketSize
 	for k, d := range alloc {
 		if d > 0 {
+			before := segs[k].RemainingBytes(ps)
 			segs[k].Dropped += d
+			b.queuedBytes -= before - segs[k].RemainingBytes(ps)
 			b.droppedPackets += int64(d)
 		}
 	}
+}
+
+// dropScratch holds the reusable slices behind Eq. 14's allocation. One
+// lives in each Buffer; AllocateDrops builds a throwaway one.
+type dropScratch struct {
+	weights []float64
+	budgets []int
+	alloc   []int
+	active  []bool
+	add     []int
+	shares  []dropShare
+}
+
+type dropShare struct {
+	k    int
+	frac float64
+}
+
+// reset sizes every scratch slice to n and zeroes the ones allocate reads
+// before writing.
+func (s *dropScratch) reset(n int) {
+	if cap(s.weights) < n {
+		s.weights = make([]float64, n)
+		s.budgets = make([]int, n)
+		s.alloc = make([]int, n)
+		s.active = make([]bool, n)
+		s.add = make([]int, n)
+	}
+	s.weights = s.weights[:n]
+	s.budgets = s.budgets[:n]
+	s.alloc = s.alloc[:n]
+	s.active = s.active[:n]
+	s.add = s.add[:n]
+	for i := range s.alloc {
+		s.alloc[i] = 0
+	}
+}
+
+// allocate runs the capped largest-remainder split of deficit over the
+// scratch weights and budgets, returning the per-segment allocation (a view
+// of the scratch allocation slice).
+func (s *dropScratch) allocate(deficit int) []int {
+	n := len(s.weights)
+	remaining := deficit
+	for k := 0; k < n; k++ {
+		s.active[k] = s.budgets[k] > 0 && s.weights[k] > 0
+	}
+	// Iterate: proportional share, cap at budget, redistribute.
+	for remaining > 0 {
+		totalW := 0.0
+		for k := 0; k < n; k++ {
+			if s.active[k] {
+				totalW += s.weights[k]
+			}
+		}
+		if totalW <= 0 {
+			break
+		}
+		whole := 0
+		shares := s.shares[:0]
+		for k := 0; k < n; k++ {
+			s.add[k] = 0
+			if !s.active[k] {
+				continue
+			}
+			exact := float64(remaining) * s.weights[k] / totalW
+			w := int(math.Floor(exact))
+			room := s.budgets[k] - s.alloc[k]
+			if w > room {
+				w = room
+			}
+			s.add[k] = w
+			whole += w
+			if w < room {
+				shares = append(shares, dropShare{k, exact - math.Floor(exact)})
+			}
+		}
+		s.shares = shares
+		// Largest-remainder distribution of the leftover units.
+		leftover := remaining - whole
+		sort.Slice(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
+		for _, sh := range shares {
+			if leftover == 0 {
+				break
+			}
+			if s.alloc[sh.k]+s.add[sh.k] < s.budgets[sh.k] {
+				s.add[sh.k]++
+				leftover--
+			}
+		}
+		progressed := false
+		for k := 0; k < n; k++ {
+			if s.add[k] > 0 {
+				s.alloc[k] += s.add[k]
+				remaining -= s.add[k]
+				progressed = true
+			}
+			if s.alloc[k] >= s.budgets[k] {
+				s.active[k] = false
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return s.alloc
 }
 
 // AllocateDrops splits a total of `deficit` packet drops across segments
@@ -383,74 +555,13 @@ func AllocateDrops(weights []float64, budgets []int, deficit int) []int {
 	if len(budgets) != n {
 		panic("sched: AllocateDrops weight/budget length mismatch")
 	}
-	alloc := make([]int, n)
-	remaining := deficit
-	active := make([]bool, n)
-	for k := range active {
-		active[k] = budgets[k] > 0 && weights[k] > 0
-	}
-	// Iterate: proportional share, cap at budget, redistribute.
-	for remaining > 0 {
-		totalW := 0.0
-		for k := range weights {
-			if active[k] {
-				totalW += weights[k]
-			}
-		}
-		if totalW <= 0 {
-			break
-		}
-		type share struct {
-			k    int
-			frac float64
-		}
-		whole := 0
-		shares := make([]share, 0, n)
-		add := make([]int, n)
-		for k := range weights {
-			if !active[k] {
-				continue
-			}
-			exact := float64(remaining) * weights[k] / totalW
-			w := int(math.Floor(exact))
-			room := budgets[k] - alloc[k]
-			if w > room {
-				w = room
-			}
-			add[k] = w
-			whole += w
-			if w < room {
-				shares = append(shares, share{k, exact - math.Floor(exact)})
-			}
-		}
-		// Largest-remainder distribution of the leftover units.
-		leftover := remaining - whole
-		sort.Slice(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
-		for _, s := range shares {
-			if leftover == 0 {
-				break
-			}
-			if alloc[s.k]+add[s.k] < budgets[s.k] {
-				add[s.k]++
-				leftover--
-			}
-		}
-		progressed := false
-		for k := range add {
-			if add[k] > 0 {
-				alloc[k] += add[k]
-				remaining -= add[k]
-				progressed = true
-			}
-			if alloc[k] >= budgets[k] {
-				active[k] = false
-			}
-		}
-		if !progressed {
-			break
-		}
-	}
-	return alloc
+	var s dropScratch
+	s.reset(n)
+	copy(s.weights, weights)
+	copy(s.budgets, budgets)
+	out := make([]int, n)
+	copy(out, s.allocate(deficit))
+	return out
 }
 
 // propEstimator keeps the last m propagation samples (Eq. 13).

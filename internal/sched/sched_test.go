@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cloudfog/internal/game"
+	"cloudfog/internal/sim"
 	"cloudfog/internal/stream"
 )
 
@@ -295,15 +296,113 @@ func TestFullyDroppedSegmentsSkippedOnDequeue(t *testing.T) {
 
 func TestQueuedBytesTracksDrops(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.DropEnabled = false
+	cfg.DropEnabled = false // drive the drop path by hand
 	b := NewBuffer(cfg, cfg100(), 8_000_000)
-	s := testSegment(t, 1, 3, 0)
+	s := testSegment(t, 1, 5, 0) // 40% loss tolerance: budget covers 2 drops
 	b.Enqueue(0, s)
 	before := b.QueuedBytes()
-	s.Dropped = 2
+	b.dropAcross(0, 0, 2)
+	if s.Dropped != 2 {
+		t.Fatalf("dropAcross dropped %d packets, want 2", s.Dropped)
+	}
 	after := b.QueuedBytes()
 	if after != before-2*1500 {
 		t.Fatalf("queued bytes = %d, want %d", after, before-2*1500)
+	}
+	if after != b.recomputeQueuedBytes() {
+		t.Fatalf("counter %d != recomputed %d", after, b.recomputeQueuedBytes())
+	}
+}
+
+// TestQueuedBytesCounterConsistency hammers the buffer with a randomized
+// enqueue/dequeue/drop/evict mix and asserts the incremental queuedBytes
+// counter always equals the O(n) recomputed sum — the invariant that lets
+// Enqueue's bound check run in O(1) per evicted segment.
+func TestQueuedBytesCounterConsistency(t *testing.T) {
+	games := make([]game.Game, 0, 5)
+	for id := 1; id <= 5; id++ {
+		g, err := game.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		games = append(games, g)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := sim.NewRand(seed)
+		cfg := DefaultConfig()
+		cfg.MaxQueueDelay = 40 * time.Millisecond // 40 KB bound: evictions fire
+		b := NewBuffer(cfg, cfg100(), 8_000_000)
+		now := time.Duration(0)
+		sawBacklog := false
+		for op := 0; op < 3000; op++ {
+			now += time.Duration(rng.Intn(3)) * time.Millisecond
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // enqueue (triggers EDF insert, repair drops, evictions)
+				g := games[rng.Intn(len(games))]
+				e := stream.NewEncoder(cfg100(), int64(rng.Intn(40)), g.Quality())
+				action := now - time.Duration(rng.Intn(10))*time.Millisecond
+				b.Enqueue(now, e.Encode(action, now, g))
+				b.ClearEvicted()
+			case 5, 6, 7: // dequeue
+				b.DequeueAny(now)
+			case 8: // deliberate mid-queue packet drops through the drop path
+				if n := b.Len(); n > 0 {
+					b.dropAcross(now, rng.Intn(n), 1+rng.Intn(4))
+				}
+			case 9: // drain a burst so head-index wraparound is exercised
+				for k := 0; k < 3; k++ {
+					b.Dequeue(now)
+				}
+			}
+			if got, want := b.QueuedBytes(), b.recomputeQueuedBytes(); got != want {
+				t.Fatalf("seed %d op %d: counter %d != recomputed %d", seed, op, got, want)
+			}
+			if b.Len() > 1 {
+				sawBacklog = true
+			}
+		}
+		if !sawBacklog {
+			t.Fatalf("seed %d: workload never built a backlog", seed)
+		}
+		if b.TailDropped() == 0 {
+			t.Fatalf("seed %d: workload never triggered an eviction", seed)
+		}
+	}
+}
+
+// TestEnqueueAllocFloor pins the steady-state allocation cost of the
+// Enqueue/Dequeue cycle: once the queue array, scratch space, and evicted
+// backing array are warm, a cycle allocates nothing beyond the segment the
+// caller encodes.
+func TestEnqueueAllocFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxQueueDelay = 20 * time.Millisecond
+	b := NewBuffer(cfg, cfg100(), 2_000_000)
+	g, err := game.ByID(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := stream.NewEncoder(cfg100(), 1, g.Quality())
+	seg := e.Encode(0, 0, g)
+	now := time.Duration(0)
+	// Warm: populate the queue, scratch, and evicted arrays.
+	for i := 0; i < 64; i++ {
+		now += time.Millisecond
+		e.EncodeInto(seg, now-5*time.Millisecond, now, g)
+		b.Enqueue(now, seg)
+		b.ClearEvicted()
+		if i%2 == 0 {
+			b.DequeueAny(now)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		now += time.Millisecond
+		e.EncodeInto(seg, now-5*time.Millisecond, now, g)
+		b.Enqueue(now, seg)
+		b.ClearEvicted()
+		b.DequeueAny(now)
+	}); avg != 0 {
+		t.Fatalf("warm Enqueue/Dequeue cycle allocates %.1f/op, want 0", avg)
 	}
 }
 

@@ -146,6 +146,25 @@ func (e *Encoder) Encode(actionTime, enqueued time.Duration, g game.Game) *Segme
 	return s
 }
 
+// EncodeInto is Encode writing into caller-provided storage: it overwrites
+// every field of s (including Dropped) with the next segment's state. It
+// exists so the QoE hot loop can recycle segments through a pool instead of
+// allocating one per simulated frame.
+func (e *Encoder) EncodeInto(s *Segment, actionTime, enqueued time.Duration, g game.Game) {
+	*s = Segment{
+		ID:            e.nextID,
+		PlayerID:      e.playerID,
+		Level:         e.level,
+		Bytes:         e.cfg.SegmentBytes(e.level.Bitrate),
+		Packets:       e.cfg.PacketsPerSegment(e.level.Bitrate),
+		ActionTime:    actionTime,
+		LatencyReq:    g.NetworkBudget(),
+		LossTolerance: g.LossTolerance,
+		Enqueued:      enqueued,
+	}
+	e.nextID++
+}
+
 // ReceiverBuffer models the player-side segment buffer of §III-B: arrivals
 // add bytes, playback drains at the current video bitrate, and the occupancy
 // in segments (r of Eq. 8) drives the encoding-rate adaptation.
