@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-all verify
+.PHONY: build test vet race bench bench-json bench-all verify
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# bench runs the headline benchmarks (engine, QoE node, Fig 9-11 sweeps)
-# and writes them machine-readably to BENCH_PR2.json so perf PRs commit
-# their before/after numbers.
+# bench runs the headline benchmarks (engine, QoE node with and without
+# observability, Fig 9-11 sweeps) and writes them machine-readably so perf
+# PRs commit their before/after numbers.
 bench:
-	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR2.json
+	$(GO) run ./cmd/cloudfog-bench
+
+# bench-json records this PR's numbers as BENCH_PR3.json (same schema as
+# BENCH_PR2.json) and prints the recorded-vs-live comparison against it.
+bench-json:
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR3.json -baseline BENCH_PR2.json
 
 # bench-all runs the full per-figure benchmark suite.
 bench-all:

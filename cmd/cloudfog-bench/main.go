@@ -1,24 +1,29 @@
 // cloudfog-bench runs the headline performance benchmarks and writes the
 // results as JSON (name → ns/op, B/op, allocs/op), so the repo's perf
 // trajectory is machine-readable: each perf PR commits its numbers as
-// BENCH_PR<n>.json and later PRs can diff against them.
+// BENCH_PR<n>.json and later PRs can diff against them. Pass -baseline to
+// print a recorded-vs-live comparison against a previous PR's file.
 //
 // The headline set mirrors the hot paths the figure sweeps ride: the event
-// engine, one QoE serving node, and the three figure-level sweep
-// simulations (Figs. 9a, 10a, 11a at bench scale).
+// engine, one QoE serving node (plain and with observability attached, so
+// the instrumentation overhead stays measured), and the three figure-level
+// sweep simulations (Figs. 9a, 10a, 11a at bench scale).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
 	"cloudfog/internal/experiment"
 	"cloudfog/internal/game"
 	"cloudfog/internal/metrics"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/qoe"
 	"cloudfog/internal/sim"
 )
@@ -55,8 +60,41 @@ func benchWorld() *experiment.World {
 	return w
 }
 
+// compare prints each live result against the recorded baseline.
+func compare(baselinePath string, live map[string]Result) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	recorded := make(map[string]Result)
+	if err := json.Unmarshal(buf, &recorded); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	names := make([]string, 0, len(live))
+	for name := range live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\ncomparison vs %s:\n", baselinePath)
+	for _, name := range names {
+		rec, ok := recorded[name]
+		if !ok {
+			fmt.Printf("%-28s %12.1f ns/op  (no recorded baseline)\n", name, live[name].NsPerOp)
+			continue
+		}
+		delta := math.Inf(1)
+		if rec.NsPerOp > 0 {
+			delta = (live[name].NsPerOp - rec.NsPerOp) / rec.NsPerOp * 100
+		}
+		fmt.Printf("%-28s recorded %12.1f ns/op   live %12.1f ns/op   %+6.1f%%   allocs %d -> %d\n",
+			name, rec.NsPerOp, live[name].NsPerOp, delta, rec.AllocsPerOp, live[name].AllocsPerOp)
+	}
+	return nil
+}
+
 func main() {
-	outPath := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	baseline := flag.String("baseline", "", "recorded results to compare against (e.g. BENCH_PR2.json; empty = no comparison)")
 	flag.Parse()
 
 	results := make(map[string]Result)
@@ -90,6 +128,32 @@ func main() {
 		}
 		for i := 0; i < b.N; i++ {
 			if _, err := qoe.RunNode(qoe.DefaultOptions(), 20_000_000, specs, 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The same node with the full observability bundle attached: the gap
+	// to QoENode is the instrumentation overhead budget.
+	record(results, "QoENodeObs", func(b *testing.B) {
+		b.ReportAllocs()
+		g, _ := game.ByID(4)
+		specs := make([]qoe.PlayerSpec, 10)
+		for i := range specs {
+			specs[i] = qoe.PlayerSpec{
+				ID: int64(i), Game: g,
+				Latency:      20 * time.Millisecond,
+				InboundDelay: 20 * time.Millisecond,
+			}
+		}
+		reg := obs.NewRegistry()
+		log := obs.NewEventLog(1024)
+		for i := 0; i < b.N; i++ {
+			opts := qoe.DefaultOptions()
+			opts.Obs = obs.NodeStatsIn(reg)
+			opts.Obs.Engine = obs.EngineStatsIn(reg)
+			opts.Obs.Sink = log.Sink()
+			if _, err := qoe.RunNode(opts, 20_000_000, specs, 10*time.Second); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -136,4 +200,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *outPath)
+
+	if *baseline != "" {
+		if err := compare(*baseline, results); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudfog-bench:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -8,15 +8,23 @@
 // first segment reflecting it) against its game's requirement, plus the
 // update-vs-video bandwidth ledger that motivates the whole design.
 //
+// With -metrics-addr the process serves a Prometheus-style text exposition
+// of every link's frame/byte/delay instruments at /metrics for the lifetime
+// of the run.
+//
 // Usage:
 //
 //	cloudfog-live
 //	cloudfog-live -players 8 -supernodes 2 -duration 5s
+//	cloudfog-live -metrics-addr 127.0.0.1:9100
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -24,6 +32,7 @@ import (
 	"cloudfog/internal/game"
 	"cloudfog/internal/geo"
 	"cloudfog/internal/live"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/trace"
 	"cloudfog/internal/world"
@@ -35,6 +44,7 @@ var (
 	durationFlag   = flag.Duration("duration", 4*time.Second, "session length")
 	seedFlag       = flag.Int64("seed", 7, "latency landscape seed")
 	fpsFlag        = flag.Int("fps", 30, "video frame rate")
+	metricsFlag    = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9100; empty = disabled)")
 )
 
 func main() {
@@ -45,10 +55,36 @@ func main() {
 	}
 }
 
+// startMetrics serves the registry's Prometheus exposition at /metrics on
+// addr until the process exits. It returns the bound address.
+func startMetrics(addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
 func run() error {
 	model := trace.DefaultModel(*seedFlag)
 	placer := geo.DefaultUSPlacer()
 	rng := sim.NewRand(*seedFlag + 1)
+
+	var reg *obs.Registry
+	if *metricsFlag != "" {
+		reg = obs.NewRegistry()
+		addr, err := startMetrics(*metricsFlag, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", addr)
+	}
 
 	// Endpoints: one datacenter, the supernodes, the players.
 	dcEP := trace.Endpoint{ID: 2_000_000, Pos: geo.USRegion().Center(), Class: trace.ClassDatacenter}
@@ -61,43 +97,55 @@ func run() error {
 		playerEPs[i] = trace.Endpoint{ID: trace.NodeID(i + 1), Pos: placer.Place(rng), Class: trace.ClassNode}
 	}
 
-	cloud, err := live.StartCloud("127.0.0.1:0", world.DefaultConfig(), time.Second/time.Duration(*fpsFlag))
+	tick := time.Second / time.Duration(*fpsFlag)
+	cloud, err := live.StartCloud(live.CloudConfig{
+		Addr:  "127.0.0.1:0",
+		World: world.DefaultConfig(),
+		Tick:  tick,
+		DelayFor: func(snID int64) time.Duration {
+			for _, ep := range snEPs {
+				if int64(ep.ID) == snID {
+					return model.OneWay(dcEP, ep)
+				}
+			}
+			return 0
+		},
+		Obs: reg,
+	})
 	if err != nil {
 		return err
 	}
 	defer cloud.Close()
-	cloud.DelayFor = func(snID int64) time.Duration {
-		for _, ep := range snEPs {
-			if int64(ep.ID) == snID {
-				return model.OneWay(dcEP, ep)
-			}
-		}
-		return 0
-	}
 	cloud.World(func(w *world.World) {
 		for i := 0; i < 40; i++ {
 			w.SpawnObject(world.Vec2{X: float64(i * 250 % 10000), Y: float64(i * 777 % 10000)})
 		}
 	})
-	fmt.Printf("cloud on %s (tick %v)\n", cloud.Addr(), time.Second/time.Duration(*fpsFlag))
+	fmt.Printf("cloud on %s (tick %v)\n", cloud.Addr(), tick)
 
 	sns := make([]*live.Supernode, len(snEPs))
 	for i, ep := range snEPs {
-		sn, err := live.StartSupernode(int64(ep.ID), cloud.Addr(), "127.0.0.1:0",
-			model.OneWay(ep, dcEP), *fpsFlag)
+		ep := ep
+		sn, err := live.StartSupernode(live.SupernodeConfig{
+			ID:           int64(ep.ID),
+			CloudAddr:    cloud.Addr(),
+			Addr:         "127.0.0.1:0",
+			DelayToCloud: model.OneWay(ep, dcEP),
+			FPS:          *fpsFlag,
+			DelayFor: func(playerID int64) time.Duration {
+				for _, pe := range playerEPs {
+					if int64(pe.ID) == playerID {
+						return model.OneWay(ep, pe)
+					}
+				}
+				return 0
+			},
+			Obs: reg,
+		})
 		if err != nil {
 			return err
 		}
 		defer sn.Close()
-		ep := ep
-		sn.DelayFor = func(playerID int64) time.Duration {
-			for _, pe := range playerEPs {
-				if int64(pe.ID) == playerID {
-					return model.OneWay(ep, pe)
-				}
-			}
-			return 0
-		}
 		sns[i] = sn
 		fmt.Printf("supernode %d on %s (update hop %v)\n",
 			ep.ID, sn.Addr(), model.OneWay(ep, dcEP).Round(time.Millisecond))
@@ -131,15 +179,23 @@ func run() error {
 				ActionDelay:     up,
 				ActionEvery:     200 * time.Millisecond,
 				UploadAllowance: up,
+				ViewRadius:      live.DefaultViewRadius,
+				Obs:             reg,
 			}, *durationFlag)
 		}(i, best)
 	}
 	wg.Wait()
 
+	// Report every player — including the failed ones — and exit non-zero
+	// if any session did not complete, rather than aborting on the first
+	// error and hiding the rest.
+	var failed []error
 	var videoBytes int64
 	for i, r := range reports {
 		if errs[i] != nil {
-			return fmt.Errorf("player %d: %w", i+1, errs[i])
+			failed = append(failed, fmt.Errorf("player %d: %w", i+1, errs[i]))
+			fmt.Printf("player %d FAILED: %v\n", i+1, errs[i])
+			continue
 		}
 		g, _ := game.ByID(gameIDs[i])
 		videoBytes += r.Bytes
@@ -157,5 +213,9 @@ func run() error {
 	}
 	fmt.Printf("\nbandwidth ledger: cloud shipped %.1f KB of updates; supernodes shipped %.1f KB of video (%.1fx reduction)\n",
 		float64(updBytes)/1000, float64(videoBytes)/1000, float64(videoBytes)/float64(updBytes+1))
+
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of %d players failed: %w", len(failed), *playersFlag, errors.Join(failed...))
+	}
 	return nil
 }

@@ -1,15 +1,22 @@
 // Command cloudfog-sim regenerates the CloudFog paper's simulator figures
 // (5a, 5b, 7a, 8a, 9a, 10a, 11a) and prints each as a text table with the
-// same axes the paper plots.
+// same axes the paper plots. Figures come from the experiment package's
+// registry, so -figures accepts any comma-separated subset by name.
+//
+// With -report the run also aggregates the observability counters of every
+// system and QoE simulation it performed (segment lifecycle, drop
+// decisions, assignment outcomes, engine events) and writes them as a JSON
+// snapshot, checking that the segment ledger balances before exiting.
 //
 // Usage:
 //
-//	cloudfog-sim -fig all
-//	cloudfog-sim -fig 5b -players 10000 -supernodes 600
-//	cloudfog-sim -fig 10a -horizon 60s
+//	cloudfog-sim -figures all
+//	cloudfog-sim -figures fig9a,fig10a -report out.json
+//	cloudfog-sim -figures 5b -players 10000 -supernodes 600
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,17 +27,20 @@ import (
 
 	"cloudfog/internal/experiment"
 	"cloudfog/internal/metrics"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/trace"
 )
 
 var (
-	figFlag        = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 7a, 8a, 9a, 10a, 11a, or all")
+	figuresFlag    = flag.String("figures", "", "comma-separated figures to regenerate (fig5a..fig11a, bare \"9a\" accepted, \"all\" or empty = every figure)")
+	figFlag        = flag.String("fig", "", "deprecated alias for -figures")
 	seedFlag       = flag.Int64("seed", 2026, "experiment seed")
 	playersFlag    = flag.Int("players", 10000, "population size")
 	supernodesFlag = flag.Int("supernodes", 600, "supernodes selected from capable players")
 	dcsFlag        = flag.Int("datacenters", 5, "default number of main datacenters")
 	horizonFlag    = flag.Duration("horizon", 60*time.Second, "virtual time horizon for QoE figures")
 	csvFlag        = flag.Bool("csv", false, "emit comma-separated tables instead of aligned text")
+	reportFlag     = flag.String("report", "", "write a JSON observability snapshot of the run to this file")
 	traceOutFlag   = flag.String("save-trace", "", "write the latency model parameters to this file")
 	workersFlag    = flag.Int("sweep-workers", 0, "sweep worker pool size: 0 = one per CPU, 1 = serial")
 	cpuProfFlag    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -76,19 +86,28 @@ func withProfiles(fn func() error) error {
 	return nil
 }
 
-func reqs() []time.Duration {
-	return []time.Duration{
-		30 * time.Millisecond, 50 * time.Millisecond, 70 * time.Millisecond,
-		90 * time.Millisecond, 110 * time.Millisecond,
+// selection resolves -figures (with -fig as a deprecated fallback).
+func selection() string {
+	if *figuresFlag != "" {
+		return *figuresFlag
 	}
+	return *figFlag
 }
 
 func run() error {
+	figs, err := experiment.SelectFigures(selection())
+	if err != nil {
+		return err
+	}
+
 	cfg := experiment.Default(*seedFlag)
 	cfg.Players = *playersFlag
 	cfg.Supernodes = *supernodesFlag
 	cfg.Datacenters = *dcsFlag
 	cfg.SweepWorkers = *workersFlag
+	if *reportFlag != "" {
+		cfg.Obs = obs.NewRegistry()
+	}
 
 	fmt.Printf("CloudFog simulator — %d players, %d supernodes, %d datacenters, seed %d\n\n",
 		cfg.Players, cfg.Supernodes, cfg.Datacenters, cfg.Seed)
@@ -113,108 +132,89 @@ func run() error {
 		return err
 	}
 
-	table := func(xLabel string, series []metrics.Series) string {
-		if *csvFlag {
-			return csvTable(xLabel, series)
-		}
-		return metrics.Table(xLabel, series)
-	}
+	opts := experiment.DefaultRunOptions()
+	opts.Horizon = *horizonFlag
 
-	want := func(fig string) bool { return *figFlag == "all" || *figFlag == fig }
-	ran := false
-
-	if want("5a") {
-		ran = true
-		series, err := experiment.CoverageVsDatacenters(w, []int{1, 5, 10, 15, 20, 25}, reqs())
+	for _, fig := range figs {
+		res, err := fig.Run(w, opts)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", fig.Name, err)
 		}
-		fmt.Println("Figure 5(a): user coverage vs number of datacenters (Cloud)")
-		fmt.Println(table("#datacenters", series))
-	}
-	if want("5b") {
-		ran = true
-		counts := []int{0, 100, 200, 300, 400, 500, 600}
-		trimmed := counts[:0]
-		for _, c := range counts {
-			if c <= cfg.Supernodes {
-				trimmed = append(trimmed, c)
+		title := fig.Title
+		if res.Title != "" {
+			title = res.Title
+		}
+		fmt.Println(title)
+		switch {
+		case len(res.Latency) > 0:
+			for _, r := range res.Latency {
+				fmt.Printf("  %-12s mean=%-8v median=%-8v p90=%v\n",
+					r.System, r.Mean.Round(time.Millisecond),
+					r.Median.Round(time.Millisecond), r.P90.Round(time.Millisecond))
+			}
+			fmt.Println()
+		default:
+			if *csvFlag {
+				fmt.Println(csvTable(fig.XLabel, res.Series))
+			} else {
+				fmt.Println(metrics.Table(fig.XLabel, res.Series))
 			}
 		}
-		series, err := experiment.CoverageVsSupernodes(w, trimmed, reqs())
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Figure 5(b): user coverage vs number of supernodes (%d datacenters)\n", cfg.Datacenters)
-		fmt.Println(table("#supernodes", series))
-	}
-	if want("7a") {
-		ran = true
-		counts := []int{1000, 2000, 4000, 6000, 8000, 10000}
-		trimmed := counts[:0]
-		for _, c := range counts {
-			if c <= cfg.Players {
-				trimmed = append(trimmed, c)
-			}
-		}
-		series, err := experiment.BandwidthVsPlayers(w, trimmed)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 7(a): cloud bandwidth consumption (Mbit/s) vs number of players")
-		fmt.Println(table("#players", series))
-	}
-	if want("8a") {
-		ran = true
-		results, err := experiment.ResponseLatency(w)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 8(a): average response latency per player")
-		for _, r := range results {
-			fmt.Printf("  %-12s mean=%-8v median=%-8v p90=%v\n",
-				r.System, r.Mean.Round(time.Millisecond),
-				r.Median.Round(time.Millisecond), r.P90.Round(time.Millisecond))
-		}
-		fmt.Println()
-	}
-	if want("9a") {
-		ran = true
-		counts := []int{500, 1000, 2000, 3000}
-		trimmed := counts[:0]
-		for _, c := range counts {
-			if c <= cfg.Players {
-				trimmed = append(trimmed, c)
-			}
-		}
-		series, err := experiment.ContinuityVsPlayers(w, trimmed, *horizonFlag/3)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 9(a): average playback continuity vs concurrent players")
-		fmt.Println(table("#players", series))
-	}
-	if want("10a") {
-		ran = true
-		series, err := experiment.AdaptationEffect(w, []int{5, 10, 15, 20, 25, 30}, *horizonFlag)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 10(a): satisfied players, with/without encoding rate adaptation")
-		fmt.Println(table("players/SN", series))
-	}
-	if want("11a") {
-		ran = true
-		series, err := experiment.SchedulingEffect(w, []int{5, 10, 15, 20, 25, 30}, *horizonFlag)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 11(a): satisfied players, with/without deadline-driven scheduling")
-		fmt.Println(table("players/SN", series))
 	}
 
-	if !ran {
-		return fmt.Errorf("unknown figure %q (want 5a, 5b, 7a, 8a, 9a, 10a, 11a, or all)", *figFlag)
+	if *reportFlag != "" {
+		if err := writeReport(*reportFlag, cfg.Obs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runReport is the -report JSON payload: the raw instrument snapshot plus
+// the segment-ledger reconciliation derived from it.
+type runReport struct {
+	Snapshot       obs.Snapshot   `json:"snapshot"`
+	Reconciliation reconciliation `json:"reconciliation"`
+}
+
+type reconciliation struct {
+	SegmentsGenerated   int64 `json:"segments_generated"`
+	SegmentsDelivered   int64 `json:"segments_delivered"`
+	SegmentsDropped     int64 `json:"segments_dropped"`
+	SegmentsInFlightEnd int64 `json:"segments_inflight_end"`
+	// Balanced is generated == delivered + dropped + in-flight: every
+	// segment the encoders produced is accounted for.
+	Balanced bool `json:"balanced"`
+}
+
+func writeReport(path string, reg *obs.Registry) error {
+	snap := reg.Snapshot()
+	rec := reconciliation{
+		SegmentsGenerated:   snap.Counters["cloudfog_qoe_segments_generated_total"],
+		SegmentsDelivered:   snap.Counters["cloudfog_qoe_segments_delivered_total"],
+		SegmentsDropped:     snap.Counters["cloudfog_qoe_segments_dropped_total"],
+		SegmentsInFlightEnd: snap.Counters["cloudfog_qoe_segments_inflight_end_total"],
+	}
+	rec.Balanced = rec.SegmentsGenerated ==
+		rec.SegmentsDelivered+rec.SegmentsDropped+rec.SegmentsInFlightEnd
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(runReport{Snapshot: snap, Reconciliation: rec}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("observability report written to %s (generated=%d delivered=%d dropped=%d inflight=%d)\n",
+		path, rec.SegmentsGenerated, rec.SegmentsDelivered, rec.SegmentsDropped, rec.SegmentsInFlightEnd)
+	if !rec.Balanced {
+		return fmt.Errorf("segment ledger does not balance: %d generated vs %d delivered + %d dropped + %d in flight",
+			rec.SegmentsGenerated, rec.SegmentsDelivered, rec.SegmentsDropped, rec.SegmentsInFlightEnd)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cloudfog/internal/geo"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/stream"
 	"cloudfog/internal/trace"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	// Exclude, when non-nil, removes supernodes from every assignment
 	// shortlist (e.g. a trust blacklist of misbehaving supernodes).
 	Exclude func(snID int64) bool
+	// Obs, when non-nil, counts assignment-protocol outcomes (join kind,
+	// failover repair kind, cooperative reassignments) and emits assign /
+	// failover events. The protocol pays one nil-check per outcome when
+	// disabled; counters never influence assignment decisions.
+	Obs *obs.AssignStats
 }
 
 // DefaultConfig returns the configuration used by the paper-scale

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cloudfog/internal/game"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/spatial"
 )
@@ -52,6 +53,15 @@ type Fog struct {
 type probe struct {
 	sn    *Supernode
 	delay time.Duration
+}
+
+// emit forwards an assignment event to the configured sink, if any.
+func (f *Fog) emit(kind obs.EventKind, node, player, a int64) {
+	o := f.cfg.Obs
+	if o == nil || o.Sink == nil {
+		return
+	}
+	o.Sink(obs.Event{Kind: kind, Node: node, Player: player, A: a})
 }
 
 // BuildFog constructs a Fog with the given datacenters and supernodes. The
@@ -250,6 +260,10 @@ func (f *Fog) assign(p *Player) {
 		for _, b := range rest {
 			p.Backups = append(p.Backups, b.sn)
 		}
+		if o := f.cfg.Obs; o != nil {
+			o.JoinsFog.Inc()
+			f.emit(obs.EventAssign, pr.sn.ID, p.ID, 1)
+		}
 		return
 	}
 	f.attachCloud(p, est.X, est.Y)
@@ -284,9 +298,17 @@ func (f *Fog) failover(p *Player) {
 			UpdateLatency: sn.UpdateLatency,
 		}
 		p.Backups = p.Backups[i+1:]
+		if o := f.cfg.Obs; o != nil {
+			o.FailoverBackupHits.Inc()
+			f.emit(obs.EventFailover, sn.ID, p.ID, 1)
+		}
 		return
 	}
 	p.Backups = nil
+	if o := f.cfg.Obs; o != nil {
+		o.FailoverReassigns.Inc()
+		f.emit(obs.EventFailover, 0, p.ID, 0)
+	}
 	f.assign(p)
 }
 
@@ -340,6 +362,9 @@ func (f *Fog) TryReassign(p *Player, avoid func(*Supernode) bool) bool {
 		StreamLatency: bestStream,
 		UpdateLatency: best.UpdateLatency,
 	}
+	if o := f.cfg.Obs; o != nil {
+		o.Reassigned.Inc()
+	}
 	return true
 }
 
@@ -358,6 +383,10 @@ func (f *Fog) attachCloud(p *Player, estX, estY float64) {
 		Kind:          AttachCloud,
 		DC:            best,
 		StreamLatency: f.cfg.Latency.OneWay(p.Endpoint(), best.Endpoint()),
+	}
+	if o := f.cfg.Obs; o != nil {
+		o.JoinsCloud.Inc()
+		f.emit(obs.EventAssign, best.ID, p.ID, 0)
 	}
 }
 

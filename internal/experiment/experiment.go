@@ -19,6 +19,7 @@ import (
 	"cloudfog/internal/game"
 	"cloudfog/internal/geo"
 	"cloudfog/internal/metrics"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/trace"
 	"cloudfog/internal/workload"
@@ -45,6 +46,14 @@ type Config struct {
 	// available CPU, 1 forces the serial path. Series values are
 	// identical at any setting; see sweepPoints.
 	SweepWorkers int
+
+	// Obs, when non-nil, aggregates observability counters from every
+	// system and QoE run a figure performs: segment lifecycle and delivery
+	// latency from the per-node simulations, assignment outcomes from each
+	// minted fog, and engine event totals. The registry is shared across
+	// sweep workers (all updates are atomic and commutative), so figure
+	// series stay bit-identical at any worker count.
+	Obs *obs.Registry
 }
 
 // Default returns the paper-default configuration.
@@ -171,7 +180,11 @@ func (w *World) SupernodeSet(n int) []*core.Supernode {
 
 // NewFog builds a CloudFog system with nDCs datacenters and nSNs supernodes.
 func (w *World) NewFog(nDCs, nSNs int) (*core.Fog, error) {
-	return core.BuildFog(w.Cfg.Core, w.Datacenters(nDCs), w.SupernodeSet(nSNs),
+	cc := w.Cfg.Core
+	if w.Cfg.Obs != nil {
+		cc.Obs = obs.AssignStatsIn(w.Cfg.Obs)
+	}
+	return core.BuildFog(cc, w.Datacenters(nDCs), w.SupernodeSet(nSNs),
 		sim.NewRand(w.Cfg.Seed+200))
 }
 

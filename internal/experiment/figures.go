@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudfog/internal/metrics"
+)
+
+// RunOptions is the shared knob set every registered figure accepts. The
+// zero value means "paper defaults": nil slices and a zero horizon are
+// filled per figure, and sweep counts exceeding the world's population or
+// supernode pool are trimmed rather than rejected, so one options struct
+// drives every figure of a run.
+type RunOptions struct {
+	// Horizon is the virtual-time horizon of the QoE figures (9a runs
+	// each point for Horizon/3: its sweep multiplies four systems by the
+	// player counts, and the paper's continuity curves flatten well
+	// before a full horizon). Default: 60s.
+	Horizon time.Duration
+	// Reqs are the network-requirement curves of the coverage figures.
+	// Default: the Figure 2 ladder (30, 50, 70, 90, 110 ms).
+	Reqs []time.Duration
+	// DCCounts is the Figure 5(a) datacenter sweep.
+	DCCounts []int
+	// SNCounts is the Figure 5(b) supernode sweep.
+	SNCounts []int
+	// PlayerCounts is the Figure 7(a) bandwidth sweep.
+	PlayerCounts []int
+	// ContinuityCounts is the Figure 9(a) concurrent-player sweep.
+	ContinuityCounts []int
+	// Loads is the Figure 10(a)/11(a) players-per-supernode sweep.
+	Loads []int
+}
+
+// DefaultRunOptions returns the sweeps the paper's evaluation uses.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{
+		Horizon:          60 * time.Second,
+		Reqs:             DefaultReqs(),
+		DCCounts:         []int{1, 5, 10, 15, 20, 25},
+		SNCounts:         []int{0, 100, 200, 300, 400, 500, 600},
+		PlayerCounts:     []int{1000, 2000, 4000, 6000, 8000, 10000},
+		ContinuityCounts: []int{500, 1000, 2000, 3000},
+		Loads:            []int{5, 10, 15, 20, 25, 30},
+	}
+}
+
+// DefaultReqs returns the network latency requirements of the Figure 2 game
+// ladder — the coverage figures' curve set.
+func DefaultReqs() []time.Duration {
+	return []time.Duration{
+		30 * time.Millisecond, 50 * time.Millisecond, 70 * time.Millisecond,
+		90 * time.Millisecond, 110 * time.Millisecond,
+	}
+}
+
+// filled returns a copy with every unset field at its paper default.
+func (o RunOptions) filled() RunOptions {
+	d := DefaultRunOptions()
+	if o.Horizon <= 0 {
+		o.Horizon = d.Horizon
+	}
+	if len(o.Reqs) == 0 {
+		o.Reqs = d.Reqs
+	}
+	if len(o.DCCounts) == 0 {
+		o.DCCounts = d.DCCounts
+	}
+	if len(o.SNCounts) == 0 {
+		o.SNCounts = d.SNCounts
+	}
+	if len(o.PlayerCounts) == 0 {
+		o.PlayerCounts = d.PlayerCounts
+	}
+	if len(o.ContinuityCounts) == 0 {
+		o.ContinuityCounts = d.ContinuityCounts
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = d.Loads
+	}
+	return o
+}
+
+// trimMax returns the counts not exceeding limit, preserving order.
+func trimMax(counts []int, limit int) []int {
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		if c <= limit {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FigureResult is one figure's output: series for the sweep figures, or
+// per-system latency rows for Figure 8(a). Exactly one of Series/Latency is
+// non-empty. Title, when set, is a run-specific caption (e.g. carrying the
+// world's datacenter count) that overrides the Figure's static one.
+type FigureResult struct {
+	Name   string
+	Title  string
+	XLabel string
+
+	Series  []metrics.Series
+	Latency []LatencyResult
+}
+
+// Figure is one registered paper figure. Run executes it against a world
+// with the given options; it never mutates the world's lasting state (every
+// sweep leaves joined players again).
+type Figure struct {
+	// Name is the canonical registry key, e.g. "fig9a".
+	Name string
+	// Title is the paper caption the CLI prints.
+	Title string
+	// XLabel names the swept axis.
+	XLabel string
+	// Run executes the figure.
+	Run func(w *World, o RunOptions) (FigureResult, error)
+}
+
+// figures is the registry, in paper order.
+var figures = []Figure{
+	{
+		Name:   "fig5a",
+		Title:  "Figure 5(a): user coverage vs number of datacenters (Cloud)",
+		XLabel: "#datacenters",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, err := CoverageVsDatacenters(w, o.DCCounts, o.Reqs)
+			return FigureResult{Series: s}, err
+		},
+	},
+	{
+		Name:   "fig5b",
+		Title:  "Figure 5(b): user coverage vs number of supernodes",
+		XLabel: "#supernodes",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, err := CoverageVsSupernodes(w, trimMax(o.SNCounts, w.Cfg.Supernodes), o.Reqs)
+			title := fmt.Sprintf("Figure 5(b): user coverage vs number of supernodes (%d datacenters)",
+				w.Cfg.Datacenters)
+			return FigureResult{Title: title, Series: s}, err
+		},
+	},
+	{
+		Name:   "fig7a",
+		Title:  "Figure 7(a): cloud bandwidth consumption (Mbit/s) vs number of players",
+		XLabel: "#players",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, err := BandwidthVsPlayers(w, trimMax(o.PlayerCounts, w.Cfg.Players))
+			return FigureResult{Series: s}, err
+		},
+	},
+	{
+		Name:   "fig8a",
+		Title:  "Figure 8(a): average response latency per player",
+		XLabel: "system",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			res, err := ResponseLatency(w)
+			return FigureResult{Latency: res}, err
+		},
+	},
+	{
+		Name:   "fig9a",
+		Title:  "Figure 9(a): average playback continuity vs concurrent players",
+		XLabel: "#players",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, err := ContinuityVsPlayers(w, trimMax(o.ContinuityCounts, w.Cfg.Players), o.Horizon/3)
+			return FigureResult{Series: s}, err
+		},
+	},
+	{
+		Name:   "fig10a",
+		Title:  "Figure 10(a): satisfied players, with/without encoding rate adaptation",
+		XLabel: "players/SN",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, err := AdaptationEffect(w, o.Loads, o.Horizon)
+			return FigureResult{Series: s}, err
+		},
+	},
+	{
+		Name:   "fig11a",
+		Title:  "Figure 11(a): satisfied players, with/without deadline-driven scheduling",
+		XLabel: "players/SN",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, err := SchedulingEffect(w, o.Loads, o.Horizon)
+			return FigureResult{Series: s}, err
+		},
+	},
+}
+
+// Figures returns the registered figures in paper order. The slice is a
+// copy; callers may reorder it freely.
+func Figures() []Figure {
+	out := make([]Figure, len(figures))
+	copy(out, figures)
+	return out
+}
+
+// FigureNames returns the canonical figure names in paper order.
+func FigureNames() []string {
+	out := make([]string, len(figures))
+	for i, f := range figures {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// FigureByName looks a figure up by canonical name ("fig9a") or bare paper
+// label ("9a", case-insensitive).
+func FigureByName(name string) (Figure, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if !strings.HasPrefix(key, "fig") {
+		key = "fig" + key
+	}
+	for _, f := range figures {
+		if f.Name == key {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("experiment: unknown figure %q (have %s)",
+		name, strings.Join(FigureNames(), ", "))
+}
+
+// SelectFigures resolves a comma-separated selection ("fig9a,10a", or "all"
+// / "" for every figure) into registry order, deduplicating repeats.
+func SelectFigures(selection string) ([]Figure, error) {
+	sel := strings.TrimSpace(selection)
+	if sel == "" || strings.EqualFold(sel, "all") {
+		return Figures(), nil
+	}
+	rank := make(map[string]int, len(figures))
+	for i, f := range figures {
+		rank[f.Name] = i
+	}
+	seen := make(map[string]bool)
+	var out []Figure
+	for _, part := range strings.Split(sel, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		f, err := FigureByName(part)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[f.Name] {
+			seen[f.Name] = true
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: empty figure selection %q", selection)
+	}
+	sort.Slice(out, func(a, b int) bool { return rank[out[a].Name] < rank[out[b].Name] })
+	return out, nil
+}

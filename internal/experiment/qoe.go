@@ -7,11 +7,22 @@ import (
 	"cloudfog/internal/core"
 	"cloudfog/internal/game"
 	"cloudfog/internal/metrics"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/qoe"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/trace"
 	"cloudfog/internal/workload"
 )
+
+// nodeStatsFor binds the canonical QoE metrics in the world's registry and
+// attaches engine instrumentation. NodeStatsIn is get-or-create, so every
+// sweep worker's bundle aliases the same atomic instruments and per-run
+// tallies aggregate across the whole figure.
+func nodeStatsFor(w *World) *obs.NodeStats {
+	ns := obs.NodeStatsIn(w.Cfg.Obs)
+	ns.Engine = obs.EngineStatsIn(w.Cfg.Obs)
+	return ns
+}
 
 // nodeKey identifies a serving node when partitioning players: datacenters
 // (cloud and edge attachments share the DC egress) sort before supernodes,
@@ -25,6 +36,9 @@ type nodeKey struct {
 // groupRun partitions the joined players by serving node, runs the
 // segment-level QoE simulation per node, and aggregates all players.
 func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.Duration) (qoe.Summary, error) {
+	if w.Cfg.Obs != nil && opts.Obs == nil {
+		opts.Obs = nodeStatsFor(w)
+	}
 	type group struct {
 		uplink int64
 		specs  []qoe.PlayerSpec
@@ -231,6 +245,9 @@ func StrategyEffect(w *World, loads []int, horizon time.Duration, adaptation, sc
 
 		opts := qoe.BasicOptions()
 		opts.Seed = pw.Cfg.Seed + int64(k)
+		if pw.Cfg.Obs != nil {
+			opts.Obs = nodeStatsFor(pw)
+		}
 		resB, err := qoe.RunNode(opts, uplink, specs, horizon)
 		if err != nil {
 			return err

@@ -6,17 +6,45 @@ import (
 	"sync"
 	"time"
 
+	"cloudfog/internal/obs"
 	"cloudfog/internal/proto"
 	"cloudfog/internal/world"
 )
+
+// CloudConfig parameterizes the live cloud server. Validate rejects
+// incomplete configurations instead of papering over them with defaults.
+type CloudConfig struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// World configures the authoritative virtual world.
+	World world.Config
+	// Tick is the world update cadence.
+	Tick time.Duration
+	// DelayFor, when non-nil, returns the one-way delay the cloud injects
+	// toward a subscribing supernode (keyed by the supernode's hello ID).
+	DelayFor func(snID int64) time.Duration
+	// Obs, when non-nil, registers per-supernode update-link metrics
+	// (cloudfog_link_*{link="cloud_to_sn<ID>"}).
+	Obs *obs.Registry
+}
+
+// Validate reports configuration errors.
+func (c CloudConfig) Validate() error {
+	switch {
+	case c.Addr == "":
+		return fmt.Errorf("live: CloudConfig.Addr is empty (use \"127.0.0.1:0\" for an ephemeral port)")
+	case c.Tick <= 0:
+		return fmt.Errorf("live: CloudConfig.Tick %v is not positive", c.Tick)
+	}
+	return nil
+}
 
 // Cloud is the live authoritative game server: it accepts player action
 // connections and supernode update subscriptions, ticks the virtual world
 // at a fixed rate, and ships deltas (plus the freshest action stamp per
 // player) to every subscribed supernode.
 type Cloud struct {
-	cfg  world.Config
-	tick time.Duration
+	cfg CloudConfig
 
 	ln net.Listener
 
@@ -29,11 +57,6 @@ type Cloud struct {
 
 	wg   sync.WaitGroup
 	stop chan struct{}
-
-	// DelayFor returns the one-way delay the cloud injects toward a
-	// subscribing supernode (keyed by the supernode's hello ID). Nil
-	// means no delay.
-	DelayFor func(snID int64) time.Duration
 }
 
 type cloudSub struct {
@@ -41,21 +64,19 @@ type cloudSub struct {
 	version uint64
 }
 
-// StartCloud launches the cloud server on addr ("127.0.0.1:0" for an
-// ephemeral port).
-func StartCloud(addr string, cfg world.Config, tick time.Duration) (*Cloud, error) {
-	if tick <= 0 {
-		return nil, fmt.Errorf("live: non-positive tick %v", tick)
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
+// StartCloud launches the cloud server described by cfg.
+func StartCloud(cfg CloudConfig) (*Cloud, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
 	}
 	c := &Cloud{
 		cfg:    cfg,
-		tick:   tick,
 		ln:     ln,
-		w:      world.New(cfg),
+		w:      world.New(cfg.World),
 		stamps: make(map[int64]time.Duration),
 		subs:   make(map[int64]*cloudSub),
 		stop:   make(chan struct{}),
@@ -117,7 +138,7 @@ func (c *Cloud) servePlayer(conn net.Conn, playerID int64) {
 	c.mu.Lock()
 	if c.w.Avatar(playerID) == nil {
 		// Deterministic spawn position derived from the player ID.
-		b := c.cfg.Bounds
+		b := c.cfg.World.Bounds
 		x := b.Min.X + float64(uint64(playerID)*2654435761%1000)/1000*b.Width()
 		y := b.Min.Y + float64(uint64(playerID)*40503%1000)/1000*b.Height()
 		if _, err := c.w.SpawnAvatar(playerID, world.Vec2{X: x, Y: y}); err != nil {
@@ -153,10 +174,14 @@ func (c *Cloud) servePlayer(conn net.Conn, playerID int64) {
 // the tick loop, so this goroutine just waits for disconnect.
 func (c *Cloud) serveSupernode(conn net.Conn, snID int64) {
 	var delay time.Duration
-	if c.DelayFor != nil {
-		delay = c.DelayFor(snID)
+	if c.cfg.DelayFor != nil {
+		delay = c.cfg.DelayFor(snID)
 	}
-	link := NewLink(conn, delay)
+	var stats *obs.LinkStats
+	if c.cfg.Obs != nil {
+		stats = obs.LinkStatsIn(c.cfg.Obs, fmt.Sprintf("cloud_to_sn%d", snID))
+	}
+	link := NewLinkObs(conn, delay, stats)
 
 	c.mu.Lock()
 	if c.closed {
@@ -187,7 +212,7 @@ func (c *Cloud) serveSupernode(conn net.Conn, snID int64) {
 // loop ticks the world at the configured rate and fans deltas out.
 func (c *Cloud) loop() {
 	defer c.wg.Done()
-	ticker := time.NewTicker(c.tick)
+	ticker := time.NewTicker(c.cfg.Tick)
 	defer ticker.Stop()
 	for {
 		select {
@@ -204,7 +229,7 @@ func (c *Cloud) tickOnce() {
 	defer c.mu.Unlock()
 	c.w.Apply(c.pending)
 	c.pending = c.pending[:0]
-	c.w.Step(c.tick.Seconds())
+	c.w.Step(c.cfg.Tick.Seconds())
 
 	// Ship per-player action stamps, then the delta, to every supernode.
 	var stampFrames [][]byte

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudfog/internal/obs"
 	"cloudfog/internal/proto"
 )
 
@@ -24,6 +25,12 @@ import (
 type Link struct {
 	conn  net.Conn
 	delay time.Duration
+
+	// stats, when non-nil, counts frames/bytes each way, sheds, and the
+	// sender-side holding delay. Attached at construction, before the
+	// writer goroutine starts, so no synchronization is needed beyond the
+	// instruments' own atomics.
+	stats *obs.LinkStats
 
 	mu     sync.Mutex
 	sendq  chan queued
@@ -41,7 +48,13 @@ type queued struct {
 // NewLink wraps conn with the given one-way send delay. Close the link (not
 // the conn) when done.
 func NewLink(conn net.Conn, delay time.Duration) *Link {
-	l := &Link{conn: conn, delay: delay, sendq: make(chan queued, 1024)}
+	return NewLinkObs(conn, delay, nil)
+}
+
+// NewLinkObs is NewLink with an optional stats bundle (nil disables
+// instrumentation with no per-frame cost beyond one nil-check).
+func NewLinkObs(conn net.Conn, delay time.Duration, stats *obs.LinkStats) *Link {
+	l := &Link{conn: conn, delay: delay, stats: stats, sendq: make(chan queued, 1024)}
 	l.wg.Add(1)
 	go l.writer()
 	return l
@@ -61,8 +74,18 @@ func (l *Link) writer() {
 			l.mu.Unlock()
 			// Drain the rest so senders never block forever.
 			for range l.sendq {
+				if l.stats != nil {
+					l.stats.DroppedFrames.Inc()
+				}
 			}
 			return
+		}
+		if l.stats != nil {
+			l.stats.SentFrames.Inc()
+			l.stats.SentBytes.Add(int64(len(q.payload)))
+			// The frame was enqueued at release−delay; the observed span
+			// is queue wait + injected propagation + the write itself.
+			l.stats.SendDelayNs.Observe(int64(time.Since(q.release) + l.delay))
 		}
 	}
 }
@@ -74,6 +97,9 @@ func (l *Link) Send(t proto.MsgType, payload []byte) bool {
 	l.mu.Lock()
 	if l.closed || l.err != nil {
 		l.mu.Unlock()
+		if l.stats != nil {
+			l.stats.DroppedFrames.Inc()
+		}
 		return false
 	}
 	l.mu.Unlock()
@@ -81,6 +107,9 @@ func (l *Link) Send(t proto.MsgType, payload []byte) bool {
 	case l.sendq <- queued{release: time.Now().Add(l.delay), typ: t, payload: payload}:
 		return true
 	default:
+		if l.stats != nil {
+			l.stats.DroppedFrames.Inc()
+		}
 		return false
 	}
 }
@@ -88,7 +117,12 @@ func (l *Link) Send(t proto.MsgType, payload []byte) bool {
 // Recv reads the next frame from the connection (receive side is undelayed;
 // the sender already injected the one-way latency).
 func (l *Link) Recv() (proto.MsgType, []byte, error) {
-	return proto.ReadFrame(l.conn)
+	typ, payload, err := proto.ReadFrame(l.conn)
+	if err == nil && l.stats != nil {
+		l.stats.RecvFrames.Inc()
+		l.stats.RecvBytes.Add(int64(len(payload)))
+	}
+	return typ, payload, err
 }
 
 // Err returns the first write error, if any.

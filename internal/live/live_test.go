@@ -2,10 +2,12 @@ package live
 
 import (
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"cloudfog/internal/obs"
 	"cloudfog/internal/proto"
 	"cloudfog/internal/world"
 )
@@ -74,22 +76,31 @@ func TestLinkPeerGoneSetsErr(t *testing.T) {
 // the replica tracks the world, and measured response latencies sit above
 // the injected path delay.
 func TestEndToEndPipeline(t *testing.T) {
-	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 33*time.Millisecond)
+	const updateDelay = 10 * time.Millisecond
+	cloud, err := StartCloud(CloudConfig{
+		Addr:     "127.0.0.1:0",
+		World:    world.DefaultConfig(),
+		Tick:     33 * time.Millisecond,
+		DelayFor: func(int64) time.Duration { return updateDelay },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cloud.Close()
 
-	const updateDelay = 10 * time.Millisecond
-	cloud.DelayFor = func(int64) time.Duration { return updateDelay }
-
-	sn, err := StartSupernode(1_000_000, cloud.Addr(), "127.0.0.1:0", 5*time.Millisecond, 30)
+	const streamDelay = 8 * time.Millisecond
+	sn, err := StartSupernode(SupernodeConfig{
+		ID:           1_000_000,
+		CloudAddr:    cloud.Addr(),
+		Addr:         "127.0.0.1:0",
+		DelayToCloud: 5 * time.Millisecond,
+		FPS:          30,
+		DelayFor:     func(int64) time.Duration { return streamDelay },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sn.Close()
-	const streamDelay = 8 * time.Millisecond
-	sn.DelayFor = func(int64) time.Duration { return streamDelay }
 
 	// Seed some world objects so views have content.
 	cloud.World(func(w *world.World) {
@@ -112,6 +123,7 @@ func TestEndToEndPipeline(t *testing.T) {
 				StreamAddr:  sn.Addr(),
 				ActionDelay: 6 * time.Millisecond,
 				ActionEvery: 100 * time.Millisecond,
+				ViewRadius:  DefaultViewRadius,
 			}, 2*time.Second)
 		}(i)
 	}
@@ -163,7 +175,7 @@ func TestEndToEndPipeline(t *testing.T) {
 }
 
 func TestCloudRejectsBadHello(t *testing.T) {
-	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 33*time.Millisecond)
+	cloud, err := StartCloud(CloudConfig{Addr: "127.0.0.1:0", World: world.DefaultConfig(), Tick: 33 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,12 +196,12 @@ func TestCloudRejectsBadHello(t *testing.T) {
 }
 
 func TestSupernodeRejectsBadJoin(t *testing.T) {
-	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 33*time.Millisecond)
+	cloud, err := StartCloud(CloudConfig{Addr: "127.0.0.1:0", World: world.DefaultConfig(), Tick: 33 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cloud.Close()
-	sn, err := StartSupernode(5, cloud.Addr(), "127.0.0.1:0", 0, 30)
+	sn, err := StartSupernode(SupernodeConfig{ID: 5, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0", FPS: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,11 +222,11 @@ func TestSupernodeRejectsBadJoin(t *testing.T) {
 }
 
 func TestCloudCloseIsClean(t *testing.T) {
-	cloud, err := StartCloud("127.0.0.1:0", world.DefaultConfig(), 10*time.Millisecond)
+	cloud, err := StartCloud(CloudConfig{Addr: "127.0.0.1:0", World: world.DefaultConfig(), Tick: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sn, err := StartSupernode(9, cloud.Addr(), "127.0.0.1:0", 0, 30)
+	sn, err := StartSupernode(SupernodeConfig{ID: 9, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0", FPS: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,4 +235,178 @@ func TestCloudCloseIsClean(t *testing.T) {
 	cloud.Close() // idempotent
 	sn.Close()
 	sn.Close()
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"cloud empty addr", CloudConfig{Tick: time.Second}.Validate(), "Addr is empty"},
+		{"cloud zero tick", CloudConfig{Addr: "127.0.0.1:0"}.Validate(), "Tick"},
+		{"sn empty cloud addr", SupernodeConfig{Addr: "127.0.0.1:0", FPS: 30}.Validate(), "CloudAddr is empty"},
+		{"sn empty addr", SupernodeConfig{CloudAddr: "x", FPS: 30}.Validate(), "Addr is empty"},
+		{"sn zero fps", SupernodeConfig{CloudAddr: "x", Addr: "127.0.0.1:0"}.Validate(), "FPS"},
+		{"sn negative delay", SupernodeConfig{CloudAddr: "x", Addr: "y", FPS: 30, DelayToCloud: -time.Second}.Validate(), "DelayToCloud"},
+		{"player empty cloud addr", PlayerConfig{StreamAddr: "y", GameID: 1, ActionEvery: time.Second, ViewRadius: 1}.Validate(), "CloudAddr is empty"},
+		{"player zero cadence", PlayerConfig{CloudAddr: "x", StreamAddr: "y", GameID: 1, ViewRadius: 1}.Validate(), "ActionEvery"},
+		{"player zero radius", PlayerConfig{CloudAddr: "x", StreamAddr: "y", GameID: 1, ActionEvery: time.Second}.Validate(), "ViewRadius"},
+		{"player bad game", PlayerConfig{CloudAddr: "x", StreamAddr: "y", GameID: 99, ActionEvery: time.Second, ViewRadius: 1}.Validate(), "GameID"},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(c.err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, c.err, c.want)
+		}
+	}
+	ok := PlayerConfig{
+		CloudAddr: "x", StreamAddr: "y", GameID: 1,
+		ActionEvery: DefaultActionEvery, ViewRadius: DefaultViewRadius,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("complete player config rejected: %v", err)
+	}
+}
+
+func TestStartRejectsInvalidConfig(t *testing.T) {
+	if _, err := StartCloud(CloudConfig{}); err == nil {
+		t.Error("StartCloud accepted an empty config")
+	}
+	if _, err := StartSupernode(SupernodeConfig{}); err == nil {
+		t.Error("StartSupernode accepted an empty config")
+	}
+	if _, err := RunPlayer(PlayerConfig{}, time.Second); err == nil {
+		t.Error("RunPlayer accepted an empty config")
+	}
+}
+
+// TestLinkMidStreamDisconnect drives a link through an active transfer,
+// kills the peer mid-stream, and checks the full error path: the write
+// error surfaces via Err, every later Send reports false, and Close still
+// returns cleanly.
+func TestLinkMidStreamDisconnect(t *testing.T) {
+	r := obs.NewRegistry()
+	stats := obs.LinkStatsIn(r, "test")
+	a, b := net.Pipe()
+	link := NewLinkObs(a, 0, stats)
+	defer link.Close()
+
+	// Receive a few frames, then vanish mid-stream.
+	received := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			if _, _, err := proto.ReadFrame(b); err != nil {
+				break
+			}
+		}
+		close(received)
+		b.Close()
+	}()
+
+	payload := proto.MarshalAck(proto.Ack{Code: 7})
+	for i := 0; i < 3; i++ {
+		if !link.Send(proto.TAck, payload) {
+			t.Fatalf("send %d failed before disconnect", i)
+		}
+	}
+	<-received
+
+	// Keep sending into the dead peer until the writer surfaces the error.
+	deadline := time.Now().Add(2 * time.Second)
+	for link.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("write error never surfaced after mid-stream disconnect")
+		}
+		link.Send(proto.TAck, payload)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ok := link.Send(proto.TAck, payload); ok {
+		t.Fatal("send succeeded after the link erred")
+	}
+	if got := stats.SentFrames.Load(); got < 3 {
+		t.Fatalf("sent frames = %d, want >= 3", got)
+	}
+	if stats.DroppedFrames.Load() == 0 {
+		t.Fatal("no dropped frames counted after disconnect")
+	}
+}
+
+// TestLinkRecvAfterPeerClose checks the receive-side error path and that
+// successful receives are counted.
+func TestLinkRecvAfterPeerClose(t *testing.T) {
+	r := obs.NewRegistry()
+	stats := obs.LinkStatsIn(r, "recv")
+	a, b := net.Pipe()
+	link := NewLinkObs(b, 0, stats)
+	defer link.Close()
+
+	go func() {
+		proto.WriteFrame(a, proto.TAck, proto.MarshalAck(proto.Ack{}))
+		a.Close()
+	}()
+	if _, _, err := link.Recv(); err != nil {
+		t.Fatalf("first recv: %v", err)
+	}
+	if _, _, err := link.Recv(); err == nil {
+		t.Fatal("recv after peer close returned no error")
+	}
+	if got := stats.RecvFrames.Load(); got != 1 {
+		t.Fatalf("recv frames = %d, want 1", got)
+	}
+}
+
+// TestLinkStatsCountTraffic checks the happy-path accounting: frames and
+// bytes both ways plus a send-delay observation per frame.
+func TestLinkStatsCountTraffic(t *testing.T) {
+	r := obs.NewRegistry()
+	sendStats := obs.LinkStatsIn(r, "s")
+	recvStats := obs.LinkStatsIn(r, "r")
+	a, b := net.Pipe()
+	sender := NewLinkObs(a, 3*time.Millisecond, sendStats)
+	receiver := NewLinkObs(b, 0, recvStats)
+	defer sender.Close()
+	defer receiver.Close()
+
+	payload := proto.MarshalAck(proto.Ack{Code: 1})
+	const n = 5
+	for i := 0; i < n; i++ {
+		if !sender.Send(proto.TAck, payload) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := receiver.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	// The writer bumps its counters after WriteFrame returns, which with
+	// net.Pipe races the final Recv; give it a moment to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for sendStats.SentFrames.Load() != n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sendStats.SentFrames.Load(); got != n {
+		t.Fatalf("sent frames = %d, want %d", got, n)
+	}
+	wantBytes := int64(n * len(payload))
+	if got := sendStats.SentBytes.Load(); got != wantBytes {
+		t.Fatalf("sent bytes = %d, want %d", got, wantBytes)
+	}
+	if got := recvStats.RecvFrames.Load(); got != n {
+		t.Fatalf("recv frames = %d, want %d", got, n)
+	}
+	if got := recvStats.RecvBytes.Load(); got != wantBytes {
+		t.Fatalf("recv bytes = %d, want %d", got, wantBytes)
+	}
+	if got := sendStats.SendDelayNs.Count(); got != n {
+		t.Fatalf("send delay observations = %d, want %d", got, n)
+	}
+	// Every frame was held at least the injected 3 ms.
+	if min := sendStats.SendDelayNs.Sum() / n; min < (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("mean send delay %dns below the injected 3ms", min)
+	}
 }

@@ -8,8 +8,17 @@ import (
 	"time"
 
 	"cloudfog/internal/game"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/proto"
 	"cloudfog/internal/world"
+)
+
+// Suggested PlayerConfig values for callers with no opinion of their own.
+// Validate does NOT fall back to them: an unset cadence or view radius is a
+// configuration error, not a request for defaults.
+const (
+	DefaultActionEvery = 250 * time.Millisecond
+	DefaultViewRadius  = 600.0
 )
 
 // PlayerConfig describes one live player client.
@@ -21,15 +30,41 @@ type PlayerConfig struct {
 	StreamAddr string
 	// ActionDelay is the injected one-way player→cloud latency.
 	ActionDelay time.Duration
-	// ActionEvery is the input cadence (default 250 ms).
+	// ActionEvery is the input cadence (see DefaultActionEvery).
 	ActionEvery time.Duration
 	// UploadAllowance is subtracted from each response sample before the
 	// budget check: the paper's latency budget covers the downstream path
 	// (upload "does not seriously affect the response latency", §III-A),
 	// while RunPlayer necessarily measures the full action→video loop.
 	UploadAllowance time.Duration
-	// ViewRadius is the player's visible range in world units.
+	// ViewRadius is the player's visible range in world units (see
+	// DefaultViewRadius).
 	ViewRadius float64
+	// Obs, when non-nil, registers the player's action-link metrics
+	// (cloudfog_link_*{link="p<ID>_to_cloud"}).
+	Obs *obs.Registry
+}
+
+// Validate reports configuration errors.
+func (c PlayerConfig) Validate() error {
+	switch {
+	case c.CloudAddr == "":
+		return fmt.Errorf("live: PlayerConfig.CloudAddr is empty")
+	case c.StreamAddr == "":
+		return fmt.Errorf("live: PlayerConfig.StreamAddr is empty")
+	case c.ActionDelay < 0:
+		return fmt.Errorf("live: PlayerConfig.ActionDelay %v is negative", c.ActionDelay)
+	case c.ActionEvery <= 0:
+		return fmt.Errorf("live: PlayerConfig.ActionEvery %v is not positive (DefaultActionEvery is %v)",
+			c.ActionEvery, DefaultActionEvery)
+	case c.ViewRadius <= 0:
+		return fmt.Errorf("live: PlayerConfig.ViewRadius %v is not positive (DefaultViewRadius is %v)",
+			c.ViewRadius, DefaultViewRadius)
+	}
+	if _, err := game.ByID(c.GameID); err != nil {
+		return fmt.Errorf("live: PlayerConfig.GameID %d: %w", c.GameID, err)
+	}
+	return nil
 }
 
 // PlayerReport summarizes a live player session.
@@ -49,11 +84,8 @@ type PlayerReport struct {
 // stream subscription at the supernode. Response latency is measured from
 // action issue to the arrival of the first segment stamped with it.
 func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
-	if cfg.ActionEvery <= 0 {
-		cfg.ActionEvery = 250 * time.Millisecond
-	}
-	if cfg.ViewRadius <= 0 {
-		cfg.ViewRadius = 600
+	if err := cfg.Validate(); err != nil {
+		return PlayerReport{}, err
 	}
 	g, err := game.ByID(cfg.GameID)
 	if err != nil {
@@ -65,7 +97,11 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	if err != nil {
 		return PlayerReport{}, fmt.Errorf("live: dial cloud: %w", err)
 	}
-	actLink := NewLink(actConn, cfg.ActionDelay)
+	var actStats *obs.LinkStats
+	if cfg.Obs != nil {
+		actStats = obs.LinkStatsIn(cfg.Obs, fmt.Sprintf("p%d_to_cloud", cfg.ID))
+	}
+	actLink := NewLinkObs(actConn, cfg.ActionDelay, actStats)
 	defer actLink.Close()
 	if !actLink.Send(proto.THello, proto.MarshalHello(proto.Hello{Role: proto.RolePlayerActions, ID: cfg.ID})) {
 		return PlayerReport{}, fmt.Errorf("live: hello to cloud failed")

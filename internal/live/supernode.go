@@ -7,16 +7,54 @@ import (
 	"time"
 
 	"cloudfog/internal/game"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/proto"
 	"cloudfog/internal/world"
 )
+
+// SupernodeConfig parameterizes a live fog supernode. Validate rejects
+// incomplete configurations instead of papering over them with defaults.
+type SupernodeConfig struct {
+	// ID is the supernode's hello identity at the cloud.
+	ID int64
+	// CloudAddr is the cloud server to subscribe to.
+	CloudAddr string
+	// Addr is the player-facing listen address ("127.0.0.1:0" for an
+	// ephemeral port).
+	Addr string
+	// DelayToCloud is injected on the supernode's outbound hello/keepalive
+	// path; the cloud injects the update-path delay via its own DelayFor.
+	DelayToCloud time.Duration
+	// FPS is the per-player segment rate.
+	FPS int
+	// DelayFor, when non-nil, returns the one-way delay injected toward a
+	// player's video stream.
+	DelayFor func(playerID int64) time.Duration
+	// Obs, when non-nil, registers the cloud-update link and each player
+	// stream link (cloudfog_link_*{link="sn<ID>_to_p<player>"}).
+	Obs *obs.Registry
+}
+
+// Validate reports configuration errors.
+func (c SupernodeConfig) Validate() error {
+	switch {
+	case c.CloudAddr == "":
+		return fmt.Errorf("live: SupernodeConfig.CloudAddr is empty")
+	case c.Addr == "":
+		return fmt.Errorf("live: SupernodeConfig.Addr is empty (use \"127.0.0.1:0\" for an ephemeral port)")
+	case c.DelayToCloud < 0:
+		return fmt.Errorf("live: SupernodeConfig.DelayToCloud %v is negative", c.DelayToCloud)
+	case c.FPS <= 0:
+		return fmt.Errorf("live: SupernodeConfig.FPS %d is not positive", c.FPS)
+	}
+	return nil
+}
 
 // Supernode is a live fog node: it subscribes to the cloud's update stream,
 // maintains a replica of the virtual world, and streams rendered video
 // segments to its players at the frame rate.
 type Supernode struct {
-	id  int64
-	fps int
+	cfg SupernodeConfig
 
 	cloudLink *Link
 	ln        net.Listener
@@ -32,10 +70,6 @@ type Supernode struct {
 
 	wg   sync.WaitGroup
 	stop chan struct{}
-
-	// DelayFor returns the one-way delay injected toward a player. Nil
-	// means no delay.
-	DelayFor func(playerID int64) time.Duration
 }
 
 type playerStream struct {
@@ -45,31 +79,33 @@ type playerStream struct {
 	seq  int64
 }
 
-// StartSupernode launches a supernode: it dials the cloud (injecting
-// delayToCloud on its outbound hello/keepalive path; the cloud injects the
-// same on the update path via its own DelayFor) and serves players on addr.
-func StartSupernode(id int64, cloudAddr, addr string, delayToCloud time.Duration, fps int) (*Supernode, error) {
-	if fps <= 0 {
-		return nil, fmt.Errorf("live: non-positive fps %d", fps)
+// StartSupernode launches the supernode described by cfg: it dials the
+// cloud and serves players on cfg.Addr.
+func StartSupernode(cfg SupernodeConfig) (*Supernode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	conn, err := net.Dial("tcp", cloudAddr)
+	conn, err := net.Dial("tcp", cfg.CloudAddr)
 	if err != nil {
 		return nil, fmt.Errorf("live: dial cloud: %w", err)
 	}
-	cloudLink := NewLink(conn, delayToCloud)
-	if !cloudLink.Send(proto.THello, proto.MarshalHello(proto.Hello{Role: proto.RoleSupernode, ID: id})) {
+	var cloudStats *obs.LinkStats
+	if cfg.Obs != nil {
+		cloudStats = obs.LinkStatsIn(cfg.Obs, fmt.Sprintf("sn%d_to_cloud", cfg.ID))
+	}
+	cloudLink := NewLinkObs(conn, cfg.DelayToCloud, cloudStats)
+	if !cloudLink.Send(proto.THello, proto.MarshalHello(proto.Hello{Role: proto.RoleSupernode, ID: cfg.ID})) {
 		cloudLink.Close()
 		return nil, fmt.Errorf("live: hello to cloud failed")
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		cloudLink.Close()
-		return nil, err
+		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
 	}
 	sn := &Supernode{
-		id:        id,
-		fps:       fps,
+		cfg:       cfg,
 		cloudLink: cloudLink,
 		ln:        ln,
 		replica:   world.NewReplica(),
@@ -173,10 +209,14 @@ func (sn *Supernode) servePlayer(conn net.Conn) {
 		return
 	}
 	var delay time.Duration
-	if sn.DelayFor != nil {
-		delay = sn.DelayFor(join.Player)
+	if sn.cfg.DelayFor != nil {
+		delay = sn.cfg.DelayFor(join.Player)
 	}
-	link := NewLink(conn, delay)
+	var stats *obs.LinkStats
+	if sn.cfg.Obs != nil {
+		stats = obs.LinkStatsIn(sn.cfg.Obs, fmt.Sprintf("sn%d_to_p%d", sn.cfg.ID, join.Player))
+	}
+	link := NewLinkObs(conn, delay, stats)
 
 	sn.mu.Lock()
 	if sn.closed {
@@ -207,10 +247,10 @@ func (sn *Supernode) servePlayer(conn net.Conn) {
 // the game's ladder level, stamp the freshest covered action, send.
 func (sn *Supernode) renderLoop() {
 	defer sn.wg.Done()
-	ticker := time.NewTicker(time.Second / time.Duration(sn.fps))
+	ticker := time.NewTicker(time.Second / time.Duration(sn.cfg.FPS))
 	defer ticker.Stop()
 	segBytes := func(g game.Game) int {
-		return int(g.Quality().Bitrate) / sn.fps / 8
+		return int(g.Quality().Bitrate) / sn.cfg.FPS / 8
 	}
 	for {
 		select {

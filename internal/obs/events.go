@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind discriminates structured observability events.
+type EventKind uint8
+
+const (
+	// EventSegmentGenerated fires when an encoder produces a segment.
+	// Node = serving node, Player = stream owner, A = segment bytes.
+	EventSegmentGenerated EventKind = iota + 1
+	// EventSegmentTransmitted fires when a segment finishes its uplink
+	// transmission. A = remaining bytes on the wire.
+	EventSegmentTransmitted
+	// EventSegmentDropped fires when a segment is lost in full (queue-bound
+	// eviction or every packet dropped). A = packets lost.
+	EventSegmentDropped
+	// EventSegmentDelivered fires when a segment lands at its player.
+	// A = action→arrival latency in nanoseconds, B = 1 if on time.
+	EventSegmentDelivered
+	// EventLevelChange fires on a bitrate ladder move. A = new level,
+	// B = +1 for up, -1 for down.
+	EventLevelChange
+	// EventAssign fires when a player joins. A = 1 for a supernode
+	// attachment, 0 for the direct-cloud fallback; Node = serving node id.
+	EventAssign
+	// EventFailover fires when an orphaned player is repaired. A = 1 when a
+	// recorded backup absorbed it, 0 when the full protocol reran.
+	EventFailover
+	// EventDropDecision fires when the Eq. 14 deadline repair sheds
+	// packets. Player = the late segment's owner, A = packet deficit.
+	EventDropDecision
+)
+
+// String names the kind for logs and tests.
+func (k EventKind) String() string {
+	switch k {
+	case EventSegmentGenerated:
+		return "segment_generated"
+	case EventSegmentTransmitted:
+		return "segment_transmitted"
+	case EventSegmentDropped:
+		return "segment_dropped"
+	case EventSegmentDelivered:
+		return "segment_delivered"
+	case EventLevelChange:
+		return "level_change"
+	case EventAssign:
+		return "assign"
+	case EventFailover:
+		return "failover"
+	case EventDropDecision:
+		return "drop_decision"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured observability event. It is a small value struct:
+// emitting one costs a nil-check and a direct func call, never an
+// allocation or interface dispatch.
+type Event struct {
+	Kind   EventKind
+	At     time.Duration // virtual (sim) or wall-clock-relative (live) time
+	Node   int64         // serving node id, when meaningful
+	Player int64         // player id, when meaningful
+	A, B   int64         // kind-specific payload, see the kind docs
+}
+
+// EventSink receives events. A nil sink disables emission; callers must
+// nil-check before calling. Sinks must be safe for concurrent use when the
+// instrumented layer is (the live runtime and parallel sweeps are).
+type EventSink func(Event)
+
+// EventLog is a bounded, concurrency-safe ring of the most recent events —
+// the reference sink for tests and post-run inspection.
+type EventLog struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total int64
+}
+
+// NewEventLog returns a ring keeping the last capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{ring: make([]Event, 0, capacity)}
+}
+
+// Sink returns the log's EventSink.
+func (l *EventLog) Sink() EventSink { return l.record }
+
+func (l *EventLog) record(e Event) {
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total returns how many events were recorded (including overwritten ones).
+func (l *EventLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if len(l.ring) == cap(l.ring) {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	} else {
+		out = append(out, l.ring...)
+	}
+	return out
+}
+
+// EngineStats instruments the discrete-event engine. The engine holds a
+// nilable pointer and pays one nil-check per site when disabled.
+type EngineStats struct {
+	Scheduled *Counter
+	Executed  *Counter
+	Canceled  *Counter
+}
+
+// NewEngineStats returns a standalone bundle (not registry-backed).
+func NewEngineStats() *EngineStats {
+	return &EngineStats{Scheduled: new(Counter), Executed: new(Counter), Canceled: new(Counter)}
+}
+
+// EngineStatsIn binds the canonical engine metrics in a registry.
+func EngineStatsIn(r *Registry) *EngineStats {
+	return &EngineStats{
+		Scheduled: r.Counter("cloudfog_engine_events_scheduled_total", "events queued on the virtual clock"),
+		Executed:  r.Counter("cloudfog_engine_events_executed_total", "events fired"),
+		Canceled:  r.Counter("cloudfog_engine_events_canceled_total", "events canceled before firing"),
+	}
+}
+
+// NodeStats instruments one (or an aggregate of) QoE serving nodes: the
+// segment lifecycle, drop outcomes, ladder moves, and delivery latency.
+// Counters are shared across sweep workers; all updates are atomic.
+type NodeStats struct {
+	SegmentsGenerated   *Counter
+	SegmentsDelivered   *Counter
+	SegmentsDropped     *Counter // lost in full: evictions + all-packets-dropped
+	SegmentsInFlightEnd *Counter // generated but neither delivered nor dropped at horizon
+	SegmentsOnTime      *Counter
+	SegmentsLate        *Counter
+	PacketsDropped      *Counter // Eq. 14 partial drops (packets)
+	LevelUps            *Counter
+	LevelDowns          *Counter
+	Stalls              *Counter
+	DeliveryLatencyNs   *Histogram
+
+	// Sink, when non-nil, receives per-segment lifecycle events.
+	Sink EventSink
+	// Engine, when non-nil, is attached to each node's event engine.
+	Engine *EngineStats
+}
+
+// NodeStatsIn binds the canonical QoE node metrics in a registry. Calling
+// it twice on the same registry returns bundles sharing the same
+// instruments, so per-worker bundles aggregate naturally.
+func NodeStatsIn(r *Registry) *NodeStats {
+	return &NodeStats{
+		SegmentsGenerated:   r.Counter("cloudfog_qoe_segments_generated_total", "video segments produced by encoders"),
+		SegmentsDelivered:   r.Counter("cloudfog_qoe_segments_delivered_total", "segments that arrived at their player"),
+		SegmentsDropped:     r.Counter("cloudfog_qoe_segments_dropped_total", "segments lost in full (evicted or fully packet-dropped)"),
+		SegmentsInFlightEnd: r.Counter("cloudfog_qoe_segments_inflight_end_total", "segments still queued or in transit when the horizon hit"),
+		SegmentsOnTime:      r.Counter("cloudfog_qoe_segments_ontime_total", "delivered segments that met their expected arrival"),
+		SegmentsLate:        r.Counter("cloudfog_qoe_segments_late_total", "delivered segments past their expected arrival"),
+		PacketsDropped:      r.Counter("cloudfog_qoe_packets_dropped_total", "packets shed by the Eq. 14 deadline repair"),
+		LevelUps:            r.Counter("cloudfog_qoe_level_ups_total", "bitrate ladder moves up"),
+		LevelDowns:          r.Counter("cloudfog_qoe_level_downs_total", "bitrate ladder moves down"),
+		Stalls:              r.Counter("cloudfog_qoe_stalls_total", "receiver buffer underruns"),
+		DeliveryLatencyNs:   r.Histogram("cloudfog_qoe_delivery_latency_ns", "action-to-arrival latency of delivered segments", LatencyBucketsNs()),
+	}
+}
+
+// AssignStats instruments the assignment protocol: join outcomes, failover
+// repairs, and cooperative reassignments.
+type AssignStats struct {
+	JoinsFog           *Counter // joins attached to a supernode
+	JoinsCloud         *Counter // joins that fell back to a direct cloud connection
+	FailoverBackupHits *Counter // orphans absorbed by a recorded backup
+	FailoverReassigns  *Counter // orphans that reran the full protocol
+	Reassigned         *Counter // cooperative TryReassign moves committed
+
+	// Sink, when non-nil, receives assign/failover events.
+	Sink EventSink
+}
+
+// AssignStatsIn binds the canonical assignment metrics in a registry.
+func AssignStatsIn(r *Registry) *AssignStats {
+	return &AssignStats{
+		JoinsFog:           r.Counter("cloudfog_assign_joins_fog_total", "joins attached to a supernode"),
+		JoinsCloud:         r.Counter("cloudfog_assign_joins_cloud_total", "joins that fell back to the cloud"),
+		FailoverBackupHits: r.Counter("cloudfog_assign_failover_backup_total", "failovers absorbed by a recorded backup"),
+		FailoverReassigns:  r.Counter("cloudfog_assign_failover_rerun_total", "failovers that reran the full protocol"),
+		Reassigned:         r.Counter("cloudfog_assign_reassigned_total", "cooperative reassignments committed"),
+	}
+}
+
+// LinkStats instruments one live TCP link: frames and bytes each way, frames
+// shed by a congested send queue, and the sender-side holding delay (queue
+// wait plus injected propagation) actually experienced by each frame.
+type LinkStats struct {
+	SentFrames    *Counter
+	SentBytes     *Counter
+	DroppedFrames *Counter
+	RecvFrames    *Counter
+	RecvBytes     *Counter
+	SendDelayNs   *Histogram
+}
+
+// LinkStatsIn binds a link's metrics in a registry under the given link
+// label (e.g. "cloud_to_sn7").
+func LinkStatsIn(r *Registry, link string) *LinkStats {
+	lbl := `{link="` + link + `"}`
+	return &LinkStats{
+		SentFrames:    r.Counter("cloudfog_link_sent_frames_total"+lbl, "frames written to the wire"),
+		SentBytes:     r.Counter("cloudfog_link_sent_bytes_total"+lbl, "payload bytes written to the wire"),
+		DroppedFrames: r.Counter("cloudfog_link_dropped_frames_total"+lbl, "frames shed by a full send queue"),
+		RecvFrames:    r.Counter("cloudfog_link_recv_frames_total"+lbl, "frames read from the wire"),
+		RecvBytes:     r.Counter("cloudfog_link_recv_bytes_total"+lbl, "payload bytes read from the wire"),
+		SendDelayNs:   r.Histogram("cloudfog_link_send_delay_ns"+lbl, "sender-side frame holding delay (queue wait + injected propagation)", LatencyBucketsNs()),
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"cloudfog/internal/adapt"
 	"cloudfog/internal/game"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/sched"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/stream"
@@ -50,6 +51,15 @@ type Options struct {
 	SizeJitterSigma float64
 	// Seed drives the per-run randomness (frame-size jitter).
 	Seed int64
+
+	// Obs, when non-nil, receives the node's observability: segment
+	// lifecycle counters and delivery-latency histogram (folded from
+	// always-on per-run tallies at Results), per-event emission through
+	// Obs.Sink, and engine counters through Obs.Engine. Counter updates
+	// are atomic, so one bundle can aggregate parallel sweep workers. Obs
+	// never influences simulation control flow: results are bit-identical
+	// with it on or off.
+	Obs *obs.NodeStats
 }
 
 // DefaultOptions returns both strategies enabled with paper defaults
@@ -131,6 +141,15 @@ type ServerSim struct {
 	deliverFn  func(any)
 
 	segPool []*stream.Segment
+
+	// Always-on per-run lifecycle tallies (plain ints: one increment per
+	// event, no atomics, no allocations). Results folds them into
+	// opts.Obs when observation is enabled; they also pin the lifecycle
+	// identity generated == delivered + dropped + in-flight.
+	genCount, delivCount, dropCount int64
+	onTimeCount, lateCount          int64
+	levelUpCount, levelDownCount    int64
+	obsFolded                       bool
 }
 
 type session struct {
@@ -163,6 +182,12 @@ func NewServerSim(engine *sim.Engine, opts Options, uplink int64) (*ServerSim, e
 	schedCfg := opts.Sched
 	schedCfg.EDF = opts.Scheduling
 	schedCfg.DropEnabled = opts.Scheduling
+	if opts.Obs != nil {
+		schedCfg.Sink = opts.Obs.Sink
+		if opts.Obs.Engine != nil {
+			engine.SetStats(opts.Obs.Engine)
+		}
+	}
 	s := &ServerSim{
 		engine:    engine,
 		opts:      opts,
@@ -193,6 +218,23 @@ func (s *ServerSim) getSegment() *stream.Segment {
 
 func (s *ServerSim) putSegment(seg *stream.Segment) {
 	s.segPool = append(s.segPool, seg)
+}
+
+// emit sends a structured event when a sink is attached. One nil-check per
+// call site when observation is off; the Event is a value, so an enabled
+// emission still costs no allocation.
+func (s *ServerSim) emit(kind obs.EventKind, at time.Duration, player, a, b int64) {
+	if s.opts.Obs == nil || s.opts.Obs.Sink == nil {
+		return
+	}
+	s.opts.Obs.Sink(obs.Event{Kind: kind, At: at, Player: player, A: a, B: b})
+}
+
+// dropSegment accounts a segment lost in full: the always-on tally plus the
+// optional drop event carrying the packets lost.
+func (s *ServerSim) dropSegment(now time.Duration, seg *stream.Segment) {
+	s.dropCount++
+	s.emit(obs.EventSegmentDropped, now, seg.PlayerID, int64(seg.RemainingPackets()), 0)
 }
 
 // AddPlayer attaches a player before Start.
@@ -265,11 +307,20 @@ func (s *ServerSim) estimate(arg any) {
 	ss.est.Update(now, downloadBits, playbackBits)
 	r := ss.est.Segments(s.opts.Stream.SegmentBytes(ss.encoder.Level().Bitrate))
 	switch ss.ctrl.Observe(r) {
-	case adapt.AdjustedUp, adapt.AdjustedDown:
+	case adapt.AdjustedUp:
 		lvl := ss.ctrl.Level()
 		ss.encoder.SetLevel(lvl)
 		ss.recv.SetPlaybackBitrate(lvl.Bitrate)
 		ss.levelMoves++
+		s.levelUpCount++
+		s.emit(obs.EventLevelChange, now, ss.spec.ID, int64(lvl.Level), 1)
+	case adapt.AdjustedDown:
+		lvl := ss.ctrl.Level()
+		ss.encoder.SetLevel(lvl)
+		ss.recv.SetPlaybackBitrate(lvl.Bitrate)
+		ss.levelMoves++
+		s.levelDownCount++
+		s.emit(obs.EventLevelChange, now, ss.spec.ID, int64(lvl.Level), -1)
 	}
 	s.engine.SchedulePayload(s.estimationInterval(), s.estimateFn, ss)
 }
@@ -298,6 +349,8 @@ func (s *ServerSim) generate(arg any) {
 		}
 		seg.Packets = (seg.Bytes + s.opts.Stream.PacketSize - 1) / s.opts.Stream.PacketSize
 	}
+	s.genCount++
+	s.emit(obs.EventSegmentGenerated, now, ss.spec.ID, int64(seg.Bytes), 0)
 	s.buffer.Enqueue(now, seg)
 	// Segments shed by the queue bound (the arrival or evicted lenient
 	// segments) are lost in full, and nothing touches them again.
@@ -308,6 +361,7 @@ func (s *ServerSim) generate(arg any) {
 					owner.meter.RecordSegment(ev, false)
 				}
 			}
+			s.dropSegment(now, ev)
 			s.putSegment(ev)
 		}
 		s.buffer.ClearEvicted()
@@ -333,6 +387,7 @@ func (s *ServerSim) pump() {
 			if ss := s.sessionFor(seg.PlayerID); ss != nil && now >= s.opts.Warmup {
 				ss.meter.RecordSegment(seg, false)
 			}
+			s.dropSegment(now, seg)
 			s.putSegment(seg)
 			continue
 		}
@@ -352,8 +407,11 @@ func (s *ServerSim) transmitted(arg any) {
 	if ss != nil {
 		prop := ss.spec.Latency
 		s.buffer.RecordPropagation(seg.PlayerID, prop)
+		s.emit(obs.EventSegmentTransmitted, s.engine.Now(), seg.PlayerID,
+			int64(seg.RemainingBytes(s.opts.Stream.PacketSize)), 0)
 		s.engine.SchedulePayload(prop, s.deliverFn, seg)
 	} else {
+		s.dropSegment(s.engine.Now(), seg)
 		s.putSegment(seg)
 	}
 	s.pump()
@@ -368,6 +426,25 @@ func (s *ServerSim) deliver(arg any) {
 	ss := s.sessionFor(seg.PlayerID)
 	arrival := s.engine.Now()
 	onTime := arrival <= seg.ExpectedArrival()
+	s.delivCount++
+	if onTime {
+		s.onTimeCount++
+	} else {
+		s.lateCount++
+	}
+	if o := s.opts.Obs; o != nil {
+		if o.DeliveryLatencyNs != nil {
+			o.DeliveryLatencyNs.Observe(int64(arrival - seg.ActionTime))
+		}
+		if o.Sink != nil {
+			b := int64(0)
+			if onTime {
+				b = 1
+			}
+			o.Sink(obs.Event{Kind: obs.EventSegmentDelivered, At: arrival,
+				Player: seg.PlayerID, A: int64(arrival - seg.ActionTime), B: b})
+		}
+	}
 	if arrival >= s.opts.Warmup {
 		ss.meter.RecordSegment(seg, onTime)
 		ss.latSum += arrival - seg.ActionTime
@@ -381,8 +458,42 @@ func (s *ServerSim) deliver(arg any) {
 
 func (s *ServerSim) sessionFor(id int64) *session { return s.sessionBy[id] }
 
+// Lifecycle returns the always-on per-run segment tallies. The identity
+// generated == delivered + dropped + inFlight holds at any stopping point:
+// every generated segment is eventually delivered, discarded, or still
+// queued/in transit when the horizon hits.
+func (s *ServerSim) Lifecycle() (generated, delivered, dropped, inFlight int64) {
+	return s.genCount, s.delivCount, s.dropCount,
+		s.genCount - s.delivCount - s.dropCount
+}
+
+// FlushObs folds the per-run tallies (and the sender buffer's packet-drop
+// counters) into the attached NodeStats. Results calls it once; calling it
+// again is a no-op, so shared registries never double-count a run.
+func (s *ServerSim) FlushObs() {
+	o := s.opts.Obs
+	if o == nil || s.obsFolded {
+		return
+	}
+	s.obsFolded = true
+	o.SegmentsGenerated.Add(s.genCount)
+	o.SegmentsDelivered.Add(s.delivCount)
+	o.SegmentsDropped.Add(s.dropCount)
+	o.SegmentsInFlightEnd.Add(s.genCount - s.delivCount - s.dropCount)
+	o.SegmentsOnTime.Add(s.onTimeCount)
+	o.SegmentsLate.Add(s.lateCount)
+	o.LevelUps.Add(s.levelUpCount)
+	o.LevelDowns.Add(s.levelDownCount)
+	_, _, droppedPackets, _, _ := s.buffer.Stats()
+	o.PacketsDropped.Add(droppedPackets)
+	for _, ss := range s.sessions {
+		o.Stalls.Add(int64(ss.recv.StallCount()))
+	}
+}
+
 // Results summarizes every player after the engine has run.
 func (s *ServerSim) Results() []PlayerResult {
+	s.FlushObs()
 	out := make([]PlayerResult, 0, len(s.sessions))
 	for _, ss := range s.sessions {
 		r := PlayerResult{

@@ -2,10 +2,12 @@ package qoe
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
 	"cloudfog/internal/game"
+	"cloudfog/internal/obs"
 	"cloudfog/internal/sim"
 )
 
@@ -279,5 +281,84 @@ func TestJitterPreservesMeanDemand(t *testing.T) {
 	}
 	if res[0].Continuity < 0.9 {
 		t.Fatalf("mild jitter broke a half-utilized stream: continuity %v", res[0].Continuity)
+	}
+}
+
+func TestObsSegmentLedgerBalances(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Obs = obs.NodeStatsIn(reg)
+	opts.Obs.Engine = obs.EngineStatsIn(reg)
+	players := mixedPlayers(t, 12, 99)
+	if _, err := RunNode(opts, 18_000_000, players, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	gen := snap.Counters["cloudfog_qoe_segments_generated_total"]
+	del := snap.Counters["cloudfog_qoe_segments_delivered_total"]
+	drop := snap.Counters["cloudfog_qoe_segments_dropped_total"]
+	inflight := snap.Counters["cloudfog_qoe_segments_inflight_end_total"]
+	if gen == 0 {
+		t.Fatal("no segments generated")
+	}
+	if gen != del+drop+inflight {
+		t.Fatalf("ledger does not balance: %d generated vs %d delivered + %d dropped + %d in flight",
+			gen, del, drop, inflight)
+	}
+	onTime := snap.Counters["cloudfog_qoe_segments_ontime_total"]
+	late := snap.Counters["cloudfog_qoe_segments_late_total"]
+	if onTime+late != del {
+		t.Fatalf("on-time (%d) + late (%d) != delivered (%d)", onTime, late, del)
+	}
+	if snap.Counters["cloudfog_engine_events_executed_total"] == 0 {
+		t.Fatal("engine executed no events")
+	}
+}
+
+func TestObsDoesNotChangeResults(t *testing.T) {
+	// Instrumentation is observe-only: the same run with and without a
+	// NodeStats bundle must produce identical player results.
+	players := mixedPlayers(t, 8, 7)
+	plain, err := RunNode(DefaultOptions(), 18_000_000, players, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Obs = obs.NodeStatsIn(obs.NewRegistry())
+	observed, err := RunNode(opts, 18_000_000, players, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observability changed results:\n%+v\n%+v", plain, observed)
+	}
+}
+
+func TestObsFoldsOnce(t *testing.T) {
+	// Calling Results twice must not double-count the lifecycle tallies.
+	reg := obs.NewRegistry()
+	engine := sim.New()
+	opts := noJitter(BasicOptions())
+	opts.Obs = obs.NodeStatsIn(reg)
+	p := PlayerSpec{ID: 1, Game: mustGame(t, 4), Latency: 15 * time.Millisecond}
+	srv, err := NewServerSim(engine, opts, 25_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddPlayer(p); err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	engine.RunUntil(10 * time.Second)
+	srv.Results()
+	first := reg.Snapshot().Counters["cloudfog_qoe_segments_generated_total"]
+	srv.Results()
+	second := reg.Snapshot().Counters["cloudfog_qoe_segments_generated_total"]
+	if first == 0 || first != second {
+		t.Fatalf("lifecycle tallies folded more than once: %d then %d", first, second)
+	}
+	gen, del, drop, inflight := srv.Lifecycle()
+	if gen != del+drop+inflight {
+		t.Fatalf("Lifecycle does not balance: %d vs %d+%d+%d", gen, del, drop, inflight)
 	}
 }

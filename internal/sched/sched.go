@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"cloudfog/internal/obs"
 	"cloudfog/internal/stream"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// bounded; an unbounded queue would turn overload into seconds of
 	// delay instead of loss. Zero means unbounded.
 	MaxQueueDelay time.Duration
+	// Sink, when non-nil, receives an EventDropDecision for every Eq. 14
+	// deadline repair (the late segment's player and packet deficit). The
+	// hot path pays one nil-check when disabled.
+	Sink obs.EventSink
 }
 
 // DefaultConfig returns the paper's defaults: λ = 1, m = 10, EDF ordering
@@ -389,6 +394,14 @@ func (b *Buffer) repairDeadlines(now time.Duration, from int) {
 			deficit := int(math.Ceil(float64(lr-seg.LatencyReq) / float64(sigma)))
 			if deficit > 0 {
 				b.deadlineActions++
+				if b.cfg.Sink != nil {
+					b.cfg.Sink(obs.Event{
+						Kind:   obs.EventDropDecision,
+						At:     now,
+						Player: seg.PlayerID,
+						A:      int64(deficit),
+					})
+				}
 				b.dropAcross(now, i, deficit)
 				// Recompute the prefix up to i after drops.
 				precedingBytes, budgetAhead = 0, 0

@@ -16,6 +16,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"cloudfog/internal/obs"
 )
 
 // Event is a generation-counted handle to a scheduled callback, returned by
@@ -84,12 +86,20 @@ type Engine struct {
 	seq      uint64
 	executed uint64
 	stopped  bool
+
+	// stats, when non-nil, counts scheduled/executed/canceled events. The
+	// hot paths pay one nil-check when disabled; counters never influence
+	// control flow, so instrumented runs stay deterministic.
+	stats *obs.EngineStats
 }
 
 // New returns an engine with the clock at zero and an empty event queue.
 func New() *Engine {
 	return &Engine{free: -1}
 }
+
+// SetStats attaches (or, with nil, detaches) an observability bundle.
+func (e *Engine) SetStats(s *obs.EngineStats) { e.stats = s }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -156,6 +166,9 @@ func (e *Engine) schedule(t time.Duration, fn func(), pfn func(any), arg any) Ev
 	sl.fn, sl.pfn, sl.arg = fn, pfn, arg
 	e.push(eventEntry{at: t, seq: e.seq, slot: slot})
 	e.seq++
+	if e.stats != nil {
+		e.stats.Scheduled.Inc()
+	}
 	return Event{e: e, slot: slot, gen: sl.gen, at: t}
 }
 
@@ -186,8 +199,11 @@ func (e *Engine) cancel(slot int32, gen uint64) {
 	if slot < 0 || int(slot) >= len(e.slots) {
 		return
 	}
-	if sl := &e.slots[slot]; sl.gen == gen {
+	if sl := &e.slots[slot]; sl.gen == gen && !sl.canceled {
 		sl.canceled = true
+		if e.stats != nil {
+			e.stats.Canceled.Inc()
+		}
 	}
 }
 
@@ -205,6 +221,9 @@ func (e *Engine) Step() bool {
 		e.freeSlot(ent.slot)
 		e.now = ent.at
 		e.executed++
+		if e.stats != nil {
+			e.stats.Executed.Inc()
+		}
 		if fn != nil {
 			fn()
 		} else {

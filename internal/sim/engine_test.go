@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"time"
+
+	"cloudfog/internal/obs"
 )
 
 func TestEngineRunsEventsInTimeOrder(t *testing.T) {
@@ -235,5 +237,31 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
 		}
+	}
+}
+
+func TestEngineStatsCountLifecycle(t *testing.T) {
+	e := New()
+	stats := obs.NewEngineStats()
+	e.SetStats(stats)
+	ran := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i+1)*time.Millisecond, func() { ran++ })
+	}
+	ev := e.Schedule(10*time.Millisecond, func() { ran++ })
+	ev.Cancel()
+	ev.Cancel() // double-cancel must not double-count
+	e.Run()
+	if ran != 5 {
+		t.Fatalf("ran %d events, want 5", ran)
+	}
+	if got := stats.Scheduled.Load(); got != 6 {
+		t.Fatalf("scheduled = %d, want 6", got)
+	}
+	if got := stats.Executed.Load(); got != 5 {
+		t.Fatalf("executed = %d, want 5", got)
+	}
+	if got := stats.Canceled.Load(); got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
 	}
 }

@@ -254,3 +254,38 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("negative sigma accepted")
 	}
 }
+
+func TestSaveLoadPreservesPairwiseLatencies(t *testing.T) {
+	// Property over a whole population: a reloaded model reproduces the
+	// full pairwise latency matrix bit-for-bit, across every endpoint
+	// class, because all draws are pure functions of the saved parameters.
+	m := DefaultModel(777)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(42)
+	classes := []Class{ClassNode, ClassSupernode, ClassDatacenter}
+	eps := make([]Endpoint, 40)
+	for i := range eps {
+		eps[i] = Endpoint{
+			ID:    NodeID(i + 1),
+			Pos:   geo.Point{X: rng.Float64() * 4000, Y: rng.Float64() * 2500},
+			Class: classes[i%len(classes)],
+		}
+	}
+	want := m.Matrix(eps)
+	have := got.Matrix(eps)
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != have[i][j] {
+				t.Fatalf("latency [%d][%d] diverged after reload: %v vs %v",
+					i, j, want[i][j], have[i][j])
+			}
+		}
+	}
+}
