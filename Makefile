@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-all verify
+.PHONY: build test vet race bench bench-json bench-all chaos verify
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,26 @@ race:
 bench:
 	$(GO) run ./cmd/cloudfog-bench
 
-# bench-json records this PR's numbers as BENCH_PR3.json (same schema as
-# BENCH_PR2.json) and prints the recorded-vs-live comparison against it.
+# bench-json records this PR's numbers as BENCH_PR4.json (same schema as
+# BENCH_PR3.json) and prints the recorded-vs-live comparison against it.
 bench-json:
-	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR3.json -baseline BENCH_PR2.json
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR4.json -baseline BENCH_PR3.json
 
 # bench-all runs the full per-figure benchmark suite.
 bench-all:
 	$(GO) test -run XXX -bench . -benchmem .
 
-# verify is the CI gate: static checks plus the race-enabled suite.
-verify: vet race
+# chaos is the resilience smoke: the fault subsystem's own suite under the
+# race detector, then a seeded chaos sim whose -report reconciles both the
+# segment ledger and the fault orphan ledger (the run fails if either is
+# unbalanced).
+chaos:
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) run ./cmd/cloudfog-sim -figures figchurn,figrecovery \
+		-faults examples/chaos/profile.json \
+		-players 1500 -supernodes 100 -horizon 5s \
+		-report chaos_report.json
+
+# verify is the CI gate: static checks, the race-enabled suite, and the
+# chaos smoke.
+verify: vet race chaos

@@ -20,12 +20,15 @@ import (
 	"testing"
 	"time"
 
+	"cloudfog/internal/core"
 	"cloudfog/internal/experiment"
 	"cloudfog/internal/game"
+	"cloudfog/internal/geo"
 	"cloudfog/internal/metrics"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/qoe"
 	"cloudfog/internal/sim"
+	"cloudfog/internal/trace"
 )
 
 // Result is one benchmark's record in the output JSON.
@@ -93,7 +96,7 @@ func compare(baselinePath string, live map[string]Result) error {
 }
 
 func main() {
-	outPath := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	baseline := flag.String("baseline", "", "recorded results to compare against (e.g. BENCH_PR2.json; empty = no comparison)")
 	flag.Parse()
 
@@ -154,6 +157,54 @@ func main() {
 			opts.Obs.Engine = obs.EngineStatsIn(reg)
 			opts.Obs.Sink = log.Sink()
 			if _, err := qoe.RunNode(opts, 20_000_000, specs, 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The fault subsystem's hot cycle: one supernode dies, every orphan
+	// fails over (backups first), and the node re-registers — the loop the
+	// churn and resilience figures spin continuously.
+	record(results, "ChurnFailoverCycle", func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := core.DefaultConfig(1)
+		cfg.Locator.ErrorSigma = 0
+		m := cfg.Latency.(trace.Model)
+		m.NoiseMedian = 2 * time.Millisecond
+		cfg.Latency = m
+		center := cfg.Region.Center()
+		dc := core.NewDatacenter(2_000_000, geo.Point{X: center.X + 1200, Y: center.Y}, cfg.DCEgress)
+		const nSN = 30
+		type snSpec struct {
+			id  int64
+			pos geo.Point
+		}
+		specs := make([]snSpec, nSN)
+		sns := make([]*core.Supernode, nSN)
+		for i := range sns {
+			specs[i] = snSpec{id: 1_000_000 + int64(i), pos: geo.Point{X: center.X + float64(i*15), Y: center.Y + 10}}
+			sns[i] = core.NewSupernode(specs[i].id, specs[i].pos, 8, 8*cfg.UplinkPerSlot)
+		}
+		fog, err := core.BuildFog(cfg, []*core.Datacenter{dc}, sns, sim.NewRand(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, _ := game.ByID(5)
+		for i := 0; i < 120; i++ {
+			p := &core.Player{
+				ID:   int64(10_000 + i),
+				Pos:  geo.Point{X: center.X + float64(i%40), Y: center.Y + float64(i%25)},
+				Game: g, Downlink: 20_000_000,
+			}
+			fog.Join(p)
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			sp := specs[n%nSN]
+			for _, orphan := range fog.FailSupernode(sp.id) {
+				fog.Failover(orphan)
+			}
+			if err := fog.RegisterSupernode(core.NewSupernode(sp.id, sp.pos, 8, 8*cfg.UplinkPerSlot)); err != nil {
 				b.Fatal(err)
 			}
 		}

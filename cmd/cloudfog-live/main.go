@@ -20,15 +20,18 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"cloudfog/internal/fault"
 	"cloudfog/internal/game"
 	"cloudfog/internal/geo"
 	"cloudfog/internal/live"
@@ -38,6 +41,26 @@ import (
 	"cloudfog/internal/world"
 )
 
+// defaultLiveChaos is the built-in -chaos profile, scaled to the session
+// length: one supernode dies and recovers each quarter of the run, with a
+// mid-run latency spike and loss burst on every stream.
+func defaultLiveChaos(seed int64, duration time.Duration) *fault.Profile {
+	q := duration / 4
+	return &fault.Profile{
+		Name:     "live-default",
+		Seed:     seed,
+		Duration: fault.Dur(duration),
+		Specs: []fault.Spec{
+			{Kind: fault.KindCrash, Period: fault.Dur(q), MTTR: fault.Dur(q),
+				Detect: fault.Dur(100 * time.Millisecond)},
+			{Kind: fault.KindLatency, MeanGood: fault.Dur(duration / 3),
+				MeanBad: fault.Dur(duration / 6), Extra: fault.Dur(30 * time.Millisecond)},
+			{Kind: fault.KindLoss, MeanGood: fault.Dur(duration / 3),
+				MeanBad: fault.Dur(duration / 8), LossFrac: 0.1},
+		},
+	}
+}
+
 var (
 	playersFlag    = flag.Int("players", 6, "number of live player clients")
 	supernodesFlag = flag.Int("supernodes", 4, "number of live supernodes")
@@ -45,6 +68,7 @@ var (
 	seedFlag       = flag.Int64("seed", 7, "latency landscape seed")
 	fpsFlag        = flag.Int("fps", 30, "video frame rate")
 	metricsFlag    = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9100; empty = disabled)")
+	chaosFlag      = flag.String("chaos", "", "chaos mode: fault profile JSON path, or \"default\" for a built-in profile scaled to -duration")
 )
 
 func main() {
@@ -123,13 +147,17 @@ func run() error {
 	})
 	fmt.Printf("cloud on %s (tick %v)\n", cloud.Addr(), tick)
 
-	sns := make([]*live.Supernode, len(snEPs))
-	for i, ep := range snEPs {
-		ep := ep
-		sn, err := live.StartSupernode(live.SupernodeConfig{
+	// Supernodes live in a mutex-guarded map so chaos can kill and respawn
+	// them mid-run; snAddrs pins each one's listen address so a respawn
+	// comes back where the players' backup ring expects it.
+	var snMu sync.Mutex
+	snLive := make(map[int64]*live.Supernode, len(snEPs))
+	snAddrs := make([]string, len(snEPs))
+	snConfig := func(ep trace.Endpoint, addr string) live.SupernodeConfig {
+		return live.SupernodeConfig{
 			ID:           int64(ep.ID),
 			CloudAddr:    cloud.Addr(),
-			Addr:         "127.0.0.1:0",
+			Addr:         addr,
 			DelayToCloud: model.OneWay(ep, dcEP),
 			FPS:          *fpsFlag,
 			DelayFor: func(playerID int64) time.Duration {
@@ -141,14 +169,98 @@ func run() error {
 				return 0
 			},
 			Obs: reg,
-		})
+		}
+	}
+	for i, ep := range snEPs {
+		sn, err := live.StartSupernode(snConfig(ep, "127.0.0.1:0"))
 		if err != nil {
 			return err
 		}
-		defer sn.Close()
-		sns[i] = sn
+		snLive[int64(ep.ID)] = sn
+		snAddrs[i] = sn.Addr()
 		fmt.Printf("supernode %d on %s (update hop %v)\n",
 			ep.ID, sn.Addr(), model.OneWay(ep, dcEP).Round(time.Millisecond))
+	}
+	defer func() {
+		snMu.Lock()
+		defer snMu.Unlock()
+		for _, sn := range snLive {
+			sn.Close()
+		}
+	}()
+
+	// Chaos: replay the fault profile in wall-clock time against the
+	// running deployment.
+	faultStats := obs.NewFaultStats()
+	if reg != nil {
+		faultStats = obs.FaultStatsIn(reg)
+	}
+	if *chaosFlag != "" {
+		profile := defaultLiveChaos(*seedFlag, *durationFlag)
+		if *chaosFlag != "default" {
+			p, err := fault.Load(*chaosFlag)
+			if err != nil {
+				return err
+			}
+			profile = p
+		}
+		targets := fault.Targets{Supernodes: make([]fault.Node, len(snEPs))}
+		for i, ep := range snEPs {
+			targets.Supernodes[i] = fault.Node{ID: int64(ep.ID), X: ep.Pos.X, Y: ep.Pos.Y}
+		}
+		sched, err := fault.Compile(profile, targets)
+		if err != nil {
+			return err
+		}
+		hooks := fault.WallHooks{
+			Kill: func(id int64) {
+				snMu.Lock()
+				sn := snLive[id]
+				delete(snLive, id)
+				snMu.Unlock()
+				if sn != nil {
+					fmt.Printf("chaos: killing supernode %d\n", id)
+					sn.Close()
+				}
+			},
+			Recover: func(id int64) {
+				var addr string
+				var ep trace.Endpoint
+				for i, e := range snEPs {
+					if int64(e.ID) == id {
+						addr, ep = snAddrs[i], e
+						break
+					}
+				}
+				sn, err := live.StartSupernode(snConfig(ep, addr))
+				if err != nil {
+					fmt.Printf("chaos: supernode %d failed to respawn on %s: %v\n", id, addr, err)
+					return
+				}
+				snMu.Lock()
+				snLive[id] = sn
+				snMu.Unlock()
+				fmt.Printf("chaos: supernode %d respawned on %s\n", id, addr)
+			},
+			Link: func(extra time.Duration, lossFrac float64) {
+				snMu.Lock()
+				for _, sn := range snLive {
+					sn.ImpairStreams(extra, lossFrac)
+				}
+				snMu.Unlock()
+				fmt.Printf("chaos: link impairment extra=%v loss=%.0f%%\n", extra, lossFrac*100)
+			},
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		chaosDone := make(chan struct{})
+		go func() {
+			defer close(chaosDone)
+			fault.RunWall(ctx, sched, hooks, faultStats)
+		}()
+		defer func() { cancel(); <-chaosDone }()
+		fmt.Printf("chaos profile %q armed: %d scheduled events over %v\n",
+			profile.Name, len(sched.Events), profile.Duration.Duration)
 	}
 
 	fmt.Printf("\nrunning %d players for %v...\n\n", *playersFlag, *durationFlag)
@@ -158,13 +270,23 @@ func run() error {
 	gameIDs := make([]int, *playersFlag)
 	for i := 0; i < *playersFlag; i++ {
 		// Each player streams from the supernode with the lowest total
-		// serving-path latency — the assignment protocol's choice.
-		best, bestLat := 0, time.Duration(1<<62-1)
-		for s, ep := range snEPs {
-			total := model.OneWay(playerEPs[i], ep) + model.OneWay(ep, dcEP)
-			if total < bestLat {
-				best, bestLat = s, total
+		// serving-path latency — the assignment protocol's choice — and
+		// records the next-best supernodes as its failover backup ring.
+		order := make([]int, len(snEPs))
+		for s := range order {
+			order[s] = s
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ta := model.OneWay(playerEPs[i], snEPs[order[a]]) + model.OneWay(snEPs[order[a]], dcEP)
+			tb := model.OneWay(playerEPs[i], snEPs[order[b]]) + model.OneWay(snEPs[order[b]], dcEP)
+			return ta < tb
+		})
+		var backups []string
+		for _, s := range order[1:] {
+			if len(backups) == 2 {
+				break
 			}
+			backups = append(backups, snAddrs[s])
 		}
 		gameIDs[i] = i%3 + 3 // games 3-5: budgets that a wide-area path can meet
 		wg.Add(1)
@@ -175,14 +297,15 @@ func run() error {
 				ID:              int64(playerEPs[i].ID),
 				GameID:          gameIDs[i],
 				CloudAddr:       cloud.Addr(),
-				StreamAddr:      sns[snIdx].Addr(),
+				StreamAddr:      snAddrs[snIdx],
+				BackupAddrs:     backups,
 				ActionDelay:     up,
 				ActionEvery:     200 * time.Millisecond,
 				UploadAllowance: up,
 				ViewRadius:      live.DefaultViewRadius,
 				Obs:             reg,
 			}, *durationFlag)
-		}(i, best)
+		}(i, order[0])
 	}
 	wg.Wait()
 
@@ -190,7 +313,7 @@ func run() error {
 	// if any session did not complete, rather than aborting on the first
 	// error and hiding the rest.
 	var failed []error
-	var videoBytes int64
+	var videoBytes, failovers int64
 	for i, r := range reports {
 		if errs[i] != nil {
 			failed = append(failed, fmt.Errorf("player %d: %w", i+1, errs[i]))
@@ -199,20 +322,28 @@ func run() error {
 		}
 		g, _ := game.ByID(gameIDs[i])
 		videoBytes += r.Bytes
-		fmt.Printf("player %d (%-10s req %3dms): %3d segments, %6.1f KB video, response mean %v p95 %v, %3.0f%% within budget\n",
+		failovers += r.Failovers
+		fmt.Printf("player %d (%-10s req %3dms): %3d segments, %6.1f KB video, response mean %v p95 %v, %3.0f%% within budget, %d failovers\n",
 			i+1, g.Name, g.ResponseRequirement().Milliseconds(),
 			r.Segments, float64(r.Bytes)/1000,
 			r.MeanResponse.Round(time.Millisecond), r.P95Response.Round(time.Millisecond),
-			r.WithinBudget*100)
+			r.WithinBudget*100, r.Failovers)
 	}
 
 	var updBytes int64
-	for _, sn := range sns {
+	snMu.Lock()
+	for _, sn := range snLive {
 		_, b := sn.UpdateTraffic()
 		updBytes += b
 	}
+	snMu.Unlock()
 	fmt.Printf("\nbandwidth ledger: cloud shipped %.1f KB of updates; supernodes shipped %.1f KB of video (%.1fx reduction)\n",
 		float64(updBytes)/1000, float64(videoBytes)/1000, float64(videoBytes)/float64(updBytes+1))
+	if *chaosFlag != "" {
+		fmt.Printf("chaos ledger: %d kills, %d recoveries, %d link windows, %d player failovers\n",
+			faultStats.Kills.Load(), faultStats.Recoveries.Load(),
+			faultStats.LinkWindows.Load(), failovers)
+	}
 
 	if len(failed) > 0 {
 		return fmt.Errorf("%d of %d players failed: %w", len(failed), *playersFlag, errors.Join(failed...))

@@ -8,11 +8,18 @@
 // decisions, assignment outcomes, engine events) and writes them as a JSON
 // snapshot, checking that the segment ledger balances before exiting.
 //
+// The resilience figures (figchurn, figrecovery) replay a deterministic
+// fault profile — supernode crashes, loss bursts, latency spikes, bandwidth
+// collapse — against the fog; -faults loads a custom profile JSON, and the
+// -report fault ledger then reconciles every orphaned player against the
+// failover outcomes.
+//
 // Usage:
 //
 //	cloudfog-sim -figures all
 //	cloudfog-sim -figures fig9a,fig10a -report out.json
 //	cloudfog-sim -figures 5b -players 10000 -supernodes 600
+//	cloudfog-sim -figures figrecovery -faults examples/chaos/profile.json -report chaos.json
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"cloudfog/internal/experiment"
+	"cloudfog/internal/fault"
 	"cloudfog/internal/metrics"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/trace"
@@ -43,6 +51,7 @@ var (
 	reportFlag     = flag.String("report", "", "write a JSON observability snapshot of the run to this file")
 	traceOutFlag   = flag.String("save-trace", "", "write the latency model parameters to this file")
 	workersFlag    = flag.Int("sweep-workers", 0, "sweep worker pool size: 0 = one per CPU, 1 = serial")
+	faultsFlag     = flag.String("faults", "", "fault profile JSON for the resilience figures (figchurn, figrecovery); empty = built-in chaos profile")
 	cpuProfFlag    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -134,6 +143,15 @@ func run() error {
 
 	opts := experiment.DefaultRunOptions()
 	opts.Horizon = *horizonFlag
+	if *faultsFlag != "" {
+		profile, err := fault.Load(*faultsFlag)
+		if err != nil {
+			return err
+		}
+		opts.Faults = profile
+		fmt.Printf("fault profile %q loaded from %s (seed %d, %d specs, %v)\n\n",
+			profile.Name, *faultsFlag, profile.Seed, len(profile.Specs), profile.Duration.Duration)
+	}
 
 	for _, fig := range figs {
 		res, err := fig.Run(w, opts)
@@ -175,6 +193,9 @@ func run() error {
 type runReport struct {
 	Snapshot       obs.Snapshot   `json:"snapshot"`
 	Reconciliation reconciliation `json:"reconciliation"`
+	// Faults reconciles the fault-injection orphan ledger when the run
+	// injected any faults; omitted otherwise.
+	Faults *faultRecon `json:"faults,omitempty"`
 }
 
 type reconciliation struct {
@@ -187,6 +208,22 @@ type reconciliation struct {
 	Balanced bool `json:"balanced"`
 }
 
+// faultRecon is the injected-fault ledger: every orphaned player must be
+// absorbed by a backup, reassigned through the full protocol, lapsed to
+// unserved, or still awaiting a pending repair at the horizon.
+type faultRecon struct {
+	Kills      int64 `json:"kills"`
+	Recoveries int64 `json:"recoveries"`
+	Orphaned   int64 `json:"orphaned"`
+	BackupHits int64 `json:"failover_backup_hits"`
+	Reassigns  int64 `json:"failover_reassigns"`
+	Lapsed     int64 `json:"lapsed"`
+	PendingEnd int64 `json:"pending_end"`
+	// OrphansBalanced is orphaned == backup hits + reassigns + lapsed +
+	// pending.
+	OrphansBalanced bool `json:"orphans_balanced"`
+}
+
 func writeReport(path string, reg *obs.Registry) error {
 	snap := reg.Snapshot()
 	rec := reconciliation{
@@ -197,13 +234,28 @@ func writeReport(path string, reg *obs.Registry) error {
 	}
 	rec.Balanced = rec.SegmentsGenerated ==
 		rec.SegmentsDelivered+rec.SegmentsDropped+rec.SegmentsInFlightEnd
+	var faults *faultRecon
+	if snap.Counters["cloudfog_fault_kills_total"] > 0 ||
+		snap.Counters["cloudfog_fault_orphaned_total"] > 0 {
+		faults = &faultRecon{
+			Kills:      snap.Counters["cloudfog_fault_kills_total"],
+			Recoveries: snap.Counters["cloudfog_fault_recoveries_total"],
+			Orphaned:   snap.Counters["cloudfog_fault_orphaned_total"],
+			BackupHits: snap.Counters["cloudfog_assign_failover_backup_total"],
+			Reassigns:  snap.Counters["cloudfog_assign_failover_rerun_total"],
+			Lapsed:     snap.Counters["cloudfog_fault_lapsed_total"],
+			PendingEnd: snap.Counters["cloudfog_fault_pending_end_total"],
+		}
+		faults.OrphansBalanced = faults.Orphaned ==
+			faults.BackupHits+faults.Reassigns+faults.Lapsed+faults.PendingEnd
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(runReport{Snapshot: snap, Reconciliation: rec}); err != nil {
+	if err := enc.Encode(runReport{Snapshot: snap, Reconciliation: rec, Faults: faults}); err != nil {
 		f.Close()
 		return err
 	}
@@ -215,6 +267,15 @@ func writeReport(path string, reg *obs.Registry) error {
 	if !rec.Balanced {
 		return fmt.Errorf("segment ledger does not balance: %d generated vs %d delivered + %d dropped + %d in flight",
 			rec.SegmentsGenerated, rec.SegmentsDelivered, rec.SegmentsDropped, rec.SegmentsInFlightEnd)
+	}
+	if faults != nil {
+		fmt.Printf("fault ledger: kills=%d recoveries=%d orphaned=%d backup_hits=%d reassigns=%d lapsed=%d pending=%d\n",
+			faults.Kills, faults.Recoveries, faults.Orphaned, faults.BackupHits,
+			faults.Reassigns, faults.Lapsed, faults.PendingEnd)
+		if !faults.OrphansBalanced {
+			return fmt.Errorf("fault orphan ledger does not balance: %d orphaned vs %d backup + %d reassigned + %d lapsed + %d pending",
+				faults.Orphaned, faults.BackupHits, faults.Reassigns, faults.Lapsed, faults.PendingEnd)
+		}
 	}
 	return nil
 }

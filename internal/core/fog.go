@@ -106,6 +106,12 @@ func (f *Fog) Datacenters() []*Datacenter { return f.dcs }
 // Supernodes returns the registered supernodes in registration order.
 func (f *Fog) Supernodes() []*Supernode { return f.snOrder }
 
+// Supernode returns the registered supernode with the given ID, if any.
+func (f *Fog) Supernode(id int64) (*Supernode, bool) {
+	sn, ok := f.sns[id]
+	return sn, ok
+}
+
 // OnlinePlayers returns the number of players currently served.
 func (f *Fog) OnlinePlayers() int { return len(f.players) }
 
@@ -135,11 +141,23 @@ func (f *Fog) RegisterSupernode(sn *Supernode) error {
 
 // DeregisterSupernode removes a supernode gracefully (paper: supernodes
 // notify the central server before leaving): its players fail over to their
-// backups or rejoin through the full assignment protocol.
+// backups or rejoin through the full assignment protocol immediately.
 func (f *Fog) DeregisterSupernode(id int64) {
+	for _, p := range f.FailSupernode(id) {
+		f.Failover(p)
+	}
+}
+
+// FailSupernode removes a supernode abruptly — a crash, not a graceful
+// leave — and returns its orphaned players in ID order with their
+// attachments cleared but NOT repaired. The caller decides when each orphan
+// fails over (the fault injector delays repairs by the failure-detection
+// interval); until then the orphan is unserved. The returned slice is owned
+// by the caller.
+func (f *Fog) FailSupernode(id int64) []*Player {
 	sn, ok := f.sns[id]
 	if !ok {
-		return
+		return nil
 	}
 	delete(f.sns, id)
 	delete(f.snEstPos, id)
@@ -158,9 +176,28 @@ func (f *Fog) DeregisterSupernode(id int64) {
 	sn.players = make(map[int64]*Player)
 	for _, p := range orphans {
 		p.Attached = Attachment{}
-		f.failover(p)
 	}
+	return orphans
 }
+
+// Failover repairs one orphaned player through the backup-first protocol.
+// It reports false without acting when the player is no longer repairable:
+// already gone offline (its session ended while the orphan sat undetected)
+// or already serving again through some other path. Callers accounting for
+// orphans must count a false return as a lapsed repair.
+func (f *Fog) Failover(p *Player) bool {
+	if !p.Online || p.Attached.Served() {
+		return false
+	}
+	f.failover(p)
+	return true
+}
+
+// SetExclude replaces the supernode blacklist filter applied by shortlists
+// and failovers. The fault injector uses it to keep crashed-but-undetected
+// supernodes assignable (the cloud has not noticed yet) or not, depending on
+// the experiment.
+func (f *Fog) SetExclude(fn func(snID int64) bool) { f.cfg.Exclude = fn }
 
 // Join runs the supernode assignment protocol of §III-A3 for a player and
 // returns the resulting attachment.

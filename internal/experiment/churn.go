@@ -6,6 +6,7 @@ import (
 
 	"cloudfog/internal/core"
 	"cloudfog/internal/econ"
+	"cloudfog/internal/fault"
 	"cloudfog/internal/metrics"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/workload"
@@ -15,8 +16,11 @@ import (
 type ChurnResult struct {
 	// Sessions started and ended during the run.
 	Joins, Leaves uint64
-	// SupernodeDepartures counts graceful supernode leaves injected.
+	// SupernodeDepartures counts supernode departures injected.
 	SupernodeDepartures int
+	// Orphaned counts players orphaned by those departures; every one was
+	// repaired synchronously (graceful leaves detect instantly).
+	Orphaned int64
 	// MeanOnline is the time-averaged concurrent player count.
 	MeanOnline float64
 	// FogServedFrac is the time-averaged fraction of online players
@@ -30,43 +34,74 @@ type ChurnResult struct {
 	Unserved int
 }
 
+// churnProfile is the fault profile the classic churn dynamics compile to:
+// one supernode departs per period and re-registers five minutes later; zero
+// detection delay makes the departures graceful (synchronous failover), the
+// behavior this function has always modeled.
+func churnProfile(seed int64, duration, departEvery time.Duration) *fault.Profile {
+	return &fault.Profile{
+		Name:     "churn",
+		Seed:     seed,
+		Duration: fault.Dur(duration),
+		Specs: []fault.Spec{{
+			Kind:   fault.KindCrash,
+			Period: fault.Dur(departEvery),
+			MTTR:   fault.Dur(5 * time.Minute),
+		}},
+	}
+}
+
+// FaultTargets enumerates the world's supernodes as fault-injection targets.
+func (w *World) FaultTargets() fault.Targets {
+	t := fault.Targets{Supernodes: make([]fault.Node, len(w.snSpec))}
+	for i, sp := range w.snSpec {
+		t.Supernodes[i] = fault.Node{ID: sp.id, X: sp.pos.X, Y: sp.pos.Y}
+	}
+	return t
+}
+
+// Respawner returns the SimHooks Respawn function minting fresh supernode
+// instances from the world's immutable specs.
+func (w *World) Respawner() func(id int64) *core.Supernode {
+	specs := make(map[int64]snSpec, len(w.snSpec))
+	for _, sp := range w.snSpec {
+		specs[sp.id] = sp
+	}
+	return func(id int64) *core.Supernode {
+		sp, ok := specs[id]
+		if !ok {
+			return nil
+		}
+		return core.NewSupernode(sp.id, sp.pos, sp.capacity, sp.uplink)
+	}
+}
+
 // ChurnDynamics runs the fog under the paper's session churn (Poisson joins
 // at 5 players/second, session-length mixture, friend-driven game choice)
-// while a fraction of supernodes gracefully departs and re-registers,
-// exercising the backup-failover path. Metrics are sampled every minute of
-// virtual time after a warmup.
+// while supernodes periodically depart and re-register through the fault
+// subsystem, exercising the backup-failover path. Metrics are sampled every
+// minute of virtual time after a warmup.
 func ChurnDynamics(w *World, duration time.Duration, departEvery time.Duration) (ChurnResult, error) {
 	engine := sim.New()
 	fog, err := w.NewFog(w.Cfg.Datacenters, w.Cfg.Supernodes)
 	if err != nil {
 		return ChurnResult{}, err
 	}
-	churn := workload.NewChurn(engine, fog, w.Pop, 5, sim.NewRand(w.Cfg.Seed+500))
-	churn.Start()
 
 	res := ChurnResult{}
-
-	// Periodically deregister the most-loaded supernode and re-register a
-	// fresh instance of it shortly after (a contributor rebooting).
+	var inj *fault.Injector
 	if departEvery > 0 {
-		departRng := sim.NewRand(w.Cfg.Seed + 501)
-		engine.Every(departEvery, func() {
-			sns := fog.Supernodes()
-			if len(sns) == 0 {
-				return
-			}
-			sn := sns[departRng.Intn(len(sns))]
-			spec := snSpec{id: sn.ID, pos: sn.Pos, capacity: sn.Capacity, uplink: sn.Uplink}
-			fog.DeregisterSupernode(sn.ID)
-			res.SupernodeDepartures++
-			engine.Schedule(5*time.Minute, func() {
-				fresh := core.NewSupernode(spec.id, spec.pos, spec.capacity, spec.uplink)
-				if err := fog.RegisterSupernode(fresh); err != nil {
-					panic(fmt.Sprintf("re-register supernode %d: %v", spec.id, err))
-				}
-			})
-		})
+		sched, err := fault.Compile(churnProfile(w.Cfg.Seed+501, duration, departEvery), w.FaultTargets())
+		if err != nil {
+			return ChurnResult{}, fmt.Errorf("experiment: churn profile: %w", err)
+		}
+		inj = fault.NewInjector(sched, engine, fog, fault.SimHooks{Respawn: w.Respawner()},
+			sim.NewRand(w.Cfg.Seed+503), nil)
+		inj.Start()
 	}
+
+	churn := workload.NewChurn(engine, fog, w.Pop, 5, sim.NewRand(w.Cfg.Seed+500))
+	churn.Start()
 
 	warmup := duration / 5
 	var samples int
@@ -105,6 +140,11 @@ func ChurnDynamics(w *World, duration time.Duration, departEvery time.Duration) 
 
 	res.Joins = churn.Joins()
 	res.Leaves = churn.Leaves()
+	if inj != nil {
+		inj.Finish()
+		res.SupernodeDepartures = int(inj.Killed())
+		res.Orphaned = inj.Orphaned()
+	}
 	if samples > 0 {
 		res.MeanOnline = onlineSum / float64(samples)
 		res.FogServedFrac = fogFracSum / float64(samples)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"cloudfog/internal/fault"
 	"cloudfog/internal/metrics"
 )
 
@@ -33,6 +34,13 @@ type RunOptions struct {
 	ContinuityCounts []int
 	// Loads is the Figure 10(a)/11(a) players-per-supernode sweep.
 	Loads []int
+	// ChurnRates is the figchurn supernode kill-rate sweep, in kills per
+	// minute. Rate 0 is the fault-free baseline point.
+	ChurnRates []float64
+	// Faults, when non-nil, is the fault profile the resilience figures
+	// replay (figrecovery runs it verbatim; figchurn borrows its duration).
+	// Nil uses the built-in chaos profile keyed by the world seed.
+	Faults *fault.Profile
 }
 
 // DefaultRunOptions returns the sweeps the paper's evaluation uses.
@@ -45,6 +53,7 @@ func DefaultRunOptions() RunOptions {
 		PlayerCounts:     []int{1000, 2000, 4000, 6000, 8000, 10000},
 		ContinuityCounts: []int{500, 1000, 2000, 3000},
 		Loads:            []int{5, 10, 15, 20, 25, 30},
+		ChurnRates:       []float64{0, 1, 2, 4, 8},
 	}
 }
 
@@ -80,6 +89,9 @@ func (o RunOptions) filled() RunOptions {
 	}
 	if len(o.Loads) == 0 {
 		o.Loads = d.Loads
+	}
+	if len(o.ChurnRates) == 0 {
+		o.ChurnRates = d.ChurnRates
 	}
 	return o
 }
@@ -193,6 +205,26 @@ var figures = []Figure{
 			o = o.filled()
 			s, err := SchedulingEffect(w, o.Loads, o.Horizon)
 			return FigureResult{Series: s}, err
+		},
+	},
+	{
+		Name:   "figchurn",
+		Title:  "Resilience: service quality vs supernode churn rate",
+		XLabel: "kills/min",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, err := QoEVsChurn(w, o.ChurnRates, resilienceProfile(w, o).Duration.Duration)
+			return FigureResult{Series: s}, err
+		},
+	},
+	{
+		Name:   "figrecovery",
+		Title:  "Resilience: recovery timeline under the chaos profile",
+		XLabel: "t (s)",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, title, err := RecoveryTimeline(w, resilienceProfile(w, o), o.Horizon)
+			return FigureResult{Title: title, Series: s}, err
 		},
 	},
 }

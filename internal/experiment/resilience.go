@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"cloudfog/internal/core"
+	"cloudfog/internal/fault"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/obs"
+	"cloudfog/internal/qoe"
+	"cloudfog/internal/sim"
+)
+
+// DefaultChaosProfile is the built-in resilience scenario the figures (and
+// the -faults-less chaos runs) use: half the supernodes crash and recover on
+// exponential lifetimes with a 10-second detection heartbeat, a Gilbert–
+// Elliott loss process burns bursts into the wire, latency spikes hit every
+// stream, and a 3-minute bandwidth collapse squeezes a third of the uplinks.
+func DefaultChaosProfile(seed int64) *fault.Profile {
+	return &fault.Profile{
+		Name:     "default-chaos",
+		Seed:     seed,
+		Duration: fault.Dur(10 * time.Minute),
+		Specs: []fault.Spec{
+			{Kind: fault.KindCrash, MTTF: fault.Dur(3 * time.Minute), MTTR: fault.Dur(90 * time.Second),
+				Detect: fault.Dur(10 * time.Second), TargetFrac: 0.5},
+			{Kind: fault.KindLoss, MeanGood: fault.Dur(time.Minute), MeanBad: fault.Dur(10 * time.Second),
+				LossFrac: 0.25},
+			{Kind: fault.KindLatency, MeanGood: fault.Dur(90 * time.Second), MeanBad: fault.Dur(15 * time.Second),
+				Extra: fault.Dur(40 * time.Millisecond)},
+			{Kind: fault.KindBandwidth, Start: fault.Dur(3 * time.Minute), End: fault.Dur(6 * time.Minute),
+				Factor: 0.5, TargetFrac: 0.3},
+		},
+	}
+}
+
+// resilienceProfile resolves the profile a resilience figure runs: the
+// caller-supplied one, or the built-in chaos scenario keyed by the world
+// seed so the run stays a pure function of (seed, options).
+func resilienceProfile(w *World, o RunOptions) *fault.Profile {
+	if o.Faults != nil {
+		return o.Faults
+	}
+	return DefaultChaosProfile(w.Cfg.Seed + 600)
+}
+
+// churnRateProfile is one figchurn point: rate supernode kills per minute at
+// a fixed repair time and detection heartbeat.
+func churnRateProfile(seed int64, duration time.Duration, rate float64) *fault.Profile {
+	return &fault.Profile{
+		Name:     "churn-rate",
+		Seed:     seed,
+		Duration: fault.Dur(duration),
+		Specs: []fault.Spec{{
+			Kind:   fault.KindCrash,
+			Period: fault.Dur(time.Duration(float64(time.Minute) / rate)),
+			MTTR:   fault.Dur(2 * time.Minute),
+			Detect: fault.Dur(15 * time.Second),
+		}},
+	}
+}
+
+// faultStatsFor binds the canonical fault metrics in the world's registry,
+// when one is attached.
+func faultStatsFor(w *World) *obs.FaultStats {
+	if w.Cfg.Obs == nil {
+		return nil
+	}
+	return obs.FaultStatsIn(w.Cfg.Obs)
+}
+
+// QoEVsChurn sweeps the supernode kill rate and measures the flow-level
+// quality the fog sustains: the time-averaged fraction of players inside
+// their game's latency budget (coverage), the fraction still served by
+// supernodes, and the fraction caught unserved between a kill and its
+// detected repair. Rate 0 is the fault-free baseline point. Each rate is an
+// independent sweep point, deterministic in (seed, rate) alone, so serial
+// and parallel sweeps agree bitwise.
+func QoEVsChurn(w *World, rates []float64, duration time.Duration) ([]metrics.Series, error) {
+	coverage := metrics.Series{Label: "coverage", Points: make([]metrics.Point, len(rates))}
+	fogServed := metrics.Series{Label: "fog-served", Points: make([]metrics.Point, len(rates))}
+	unserved := metrics.Series{Label: "unserved", Points: make([]metrics.Point, len(rates))}
+	err := w.sweepPoints(len(rates), func(pw *World, i int) error {
+		rate := rates[i]
+		engine := sim.New()
+		fog, err := pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes)
+		if err != nil {
+			return err
+		}
+		players := pw.JoinAll(fog, pw.Cfg.Players)
+
+		var inj *fault.Injector
+		if rate > 0 {
+			sched, err := fault.Compile(churnRateProfile(pw.Cfg.Seed+601, duration, rate), pw.FaultTargets())
+			if err != nil {
+				return err
+			}
+			inj = fault.NewInjector(sched, engine, fog, fault.SimHooks{Respawn: pw.Respawner()},
+				sim.NewRand(pw.Cfg.Seed+602), faultStatsFor(pw))
+			inj.Start()
+		}
+
+		var samples int
+		var covSum, fogSum, unsSum float64
+		engine.Every(15*time.Second, func() {
+			served, fogN, uns := 0, 0, 0
+			within := 0
+			for _, p := range players {
+				if !p.Attached.Served() {
+					uns++
+					continue
+				}
+				served++
+				if p.Attached.Kind == core.AttachSupernode {
+					fogN++
+				}
+				if fog.NetworkLatency(p) <= p.Game.NetworkBudget() {
+					within++
+				}
+			}
+			n := len(players)
+			samples++
+			covSum += float64(within) / float64(n)
+			fogSum += float64(fogN) / float64(n)
+			unsSum += float64(uns) / float64(n)
+		})
+		engine.RunUntil(duration)
+		if inj != nil {
+			inj.Finish()
+		}
+		if samples > 0 {
+			coverage.Points[i] = metrics.Point{X: rate, Y: covSum / float64(samples)}
+			fogServed.Points[i] = metrics.Point{X: rate, Y: fogSum / float64(samples)}
+			unserved.Points[i] = metrics.Point{X: rate, Y: unsSum / float64(samples)}
+		}
+		pw.LeaveAll(fog, players)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []metrics.Series{coverage, fogServed, unserved}, nil
+}
+
+// RecoveryTimeline replays a full chaos profile against the fog and samples
+// the served and fog-served player fractions over time — the recovery
+// timeline around each kill and repair. After the timeline it runs the
+// segment-level QoE simulation over the surviving attachments with the same
+// schedule modulating the wire (loss bursts, latency spikes, bandwidth
+// collapse), so a chaos run exercises the full segment ledger; the summary
+// rides back in the figure title.
+func RecoveryTimeline(w *World, profile *fault.Profile, qoeHorizon time.Duration) ([]metrics.Series, string, error) {
+	var series []metrics.Series
+	var title string
+	err := w.sweepPoints(1, func(pw *World, _ int) error {
+		sched, err := fault.Compile(profile, pw.FaultTargets())
+		if err != nil {
+			return err
+		}
+		engine := sim.New()
+		fog, err := pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes)
+		if err != nil {
+			return err
+		}
+		players := pw.JoinAll(fog, pw.Cfg.Players)
+
+		inj := fault.NewInjector(sched, engine, fog, fault.SimHooks{Respawn: pw.Respawner()},
+			sim.NewRand(pw.Cfg.Seed+603), faultStatsFor(pw))
+		inj.Start()
+
+		duration := profile.Duration.Duration
+		step := duration / 60
+		if step < time.Second {
+			step = time.Second
+		}
+		served := metrics.Series{Label: "served"}
+		fogServed := metrics.Series{Label: "fog-served"}
+		engine.Every(step, func() {
+			s, fn := 0, 0
+			for _, p := range players {
+				if !p.Attached.Served() {
+					continue
+				}
+				s++
+				if p.Attached.Kind == core.AttachSupernode {
+					fn++
+				}
+			}
+			t := engine.Now().Seconds()
+			n := float64(len(players))
+			served.Add(t, float64(s)/n)
+			fogServed.Add(t, float64(fn)/n)
+		})
+		engine.RunUntil(duration)
+		inj.Finish()
+
+		// Segment-level pass over the post-chaos attachments: the schedule
+		// modulates every wire from its own t=0, so the QoE horizon
+		// re-experiences the profile's first impairment windows.
+		qopts := qoe.DefaultOptions()
+		qopts.Seed = pw.Cfg.Seed + 604
+		qopts.Impair = sched
+		sum, err := groupRun(pw, players, qopts, qoeHorizon)
+		if err != nil {
+			return err
+		}
+		title = fmt.Sprintf(
+			"Recovery timeline (%s): %d kills, %d orphans, post-chaos continuity %.3f",
+			profile.Name, inj.Killed(), inj.Orphaned(), sum.MeanContinuity)
+		series = []metrics.Series{served, fogServed}
+		pw.LeaveAll(fog, players)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return series, title, nil
+}

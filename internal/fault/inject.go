@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"time"
+
+	"cloudfog/internal/core"
+	"cloudfog/internal/obs"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/trace"
+)
+
+// NetState overlays a compiled schedule's latency impairment on a base
+// latency source: every one-way latency gains the extra latency active at
+// the engine's current virtual time. Deterministic because the schedule
+// lookup is pure and the clock is the single-threaded engine's.
+type NetState struct {
+	Base  trace.Source
+	Sched *Schedule
+	Now   func() time.Duration
+}
+
+// OneWay returns the impaired one-way latency from a to b.
+func (n *NetState) OneWay(a, b trace.Endpoint) time.Duration {
+	d := n.Base.OneWay(a, b)
+	if n.Sched != nil && n.Now != nil {
+		d += n.Sched.ExtraLatency(n.Now())
+	}
+	return d
+}
+
+// SimHooks are the experiment-supplied callbacks the injector drives.
+// Respawn is required for recoveries; the rest are optional.
+type SimHooks struct {
+	// Respawn builds a fresh supernode instance for a recovery. The fault
+	// subsystem never resurrects the old pointer: the paper's failover
+	// logic treats a re-registered contributor as a new machine.
+	Respawn func(id int64) *core.Supernode
+	// Join injects one flash-crowd player join.
+	Join func()
+	// Bandwidth applies an uplink scale to one supernode (1 restores).
+	Bandwidth func(id int64, scale float64)
+	// Cloud applies an egress scale to every datacenter (1 restores).
+	Cloud func(scale float64)
+}
+
+// Injector replays a compiled schedule on a sim engine against a real Fog:
+// kills run core.FailSupernode, each orphan's repair is delayed by a uniform
+// draw in (0, Detect] from the caller-seeded stream (the subsystem's only
+// runtime randomness, totally ordered by the single-threaded engine), and
+// recoveries re-register fresh instances. Tallies are kept always-on and
+// folded into the optional obs bundle once by Finish, so instrumentation
+// never changes the run.
+type Injector struct {
+	sched  *Schedule
+	engine *sim.Engine
+	fog    *core.Fog
+	hooks  SimHooks
+	rng    *sim.Rand
+	stats  *obs.FaultStats
+
+	downSince map[int64]time.Duration
+	killed    int64
+	recovered int64
+	orphaned  int64
+	lapsed    int64
+	repairs   int64 // scheduled orphan repairs not yet fired
+	joins     int64
+	windows   int64
+	finished  bool
+}
+
+// NewInjector binds a schedule to an engine and fog. rng seeds the
+// detection-delay draws; stats may be nil.
+func NewInjector(sched *Schedule, engine *sim.Engine, fog *core.Fog, hooks SimHooks, rng *sim.Rand, stats *obs.FaultStats) *Injector {
+	return &Injector{
+		sched:     sched,
+		engine:    engine,
+		fog:       fog,
+		hooks:     hooks,
+		rng:       rng,
+		stats:     stats,
+		downSince: make(map[int64]time.Duration),
+	}
+}
+
+// Start schedules every compiled event on the engine. Call once, before
+// running the engine.
+func (in *Injector) Start() {
+	for i := range in.sched.Events {
+		ev := in.sched.Events[i]
+		in.engine.ScheduleAt(ev.At, func() { in.apply(ev) })
+	}
+}
+
+func (in *Injector) emit(kind obs.EventKind, node, a int64) {
+	if in.stats == nil || in.stats.Sink == nil {
+		return
+	}
+	in.stats.Sink(obs.Event{Kind: kind, At: in.engine.Now(), Node: node, A: a})
+}
+
+func (in *Injector) apply(ev Event) {
+	switch ev.Op {
+	case OpKill:
+		in.kill(ev)
+	case OpRecover:
+		in.recover(ev.Node)
+	case OpLinkBad, OpLatencyOn:
+		in.windows++
+		in.emit(obs.EventFaultLink, 0, 1)
+	case OpLinkGood, OpLatencyOff:
+		in.emit(obs.EventFaultLink, 0, 0)
+	case OpBandwidth:
+		if in.hooks.Bandwidth != nil {
+			in.hooks.Bandwidth(ev.Node, ev.F)
+		}
+		if ev.F != 1 {
+			in.windows++
+			in.emit(obs.EventFaultLink, ev.Node, 1)
+		} else {
+			in.emit(obs.EventFaultLink, ev.Node, 0)
+		}
+	case OpCloudScale:
+		if in.hooks.Cloud != nil {
+			in.hooks.Cloud(ev.F)
+		}
+		if ev.F != 1 {
+			in.windows++
+			in.emit(obs.EventFaultLink, 0, 1)
+		} else {
+			in.emit(obs.EventFaultLink, 0, 0)
+		}
+	case OpJoin:
+		if in.hooks.Join != nil {
+			in.hooks.Join()
+			in.joins++
+		}
+	}
+}
+
+// kill fails the supernode and schedules each orphan's repair after its
+// detection delay. A kill targeting an already-down supernode is skipped;
+// its paired recovery self-skips too because downSince is keyed by the kill
+// that actually happened.
+func (in *Injector) kill(ev Event) {
+	if _, up := in.fog.Supernode(ev.Node); !up {
+		return
+	}
+	killAt := in.engine.Now()
+	orphans := in.fog.FailSupernode(ev.Node)
+	in.killed++
+	in.orphaned += int64(len(orphans))
+	if _, down := in.downSince[ev.Node]; !down {
+		in.downSince[ev.Node] = killAt
+	}
+	in.emit(obs.EventFaultKill, ev.Node, int64(len(orphans)))
+	for _, p := range orphans {
+		if ev.D <= 0 {
+			// Graceful leave: the cloud knows immediately, repair is
+			// synchronous (matches DeregisterSupernode semantics).
+			in.repair(p, killAt)
+			continue
+		}
+		delay := in.rng.UniformDuration(0, ev.D)
+		in.repairs++
+		p := p
+		in.engine.Schedule(delay, func() {
+			in.repairs--
+			in.repair(p, killAt)
+		})
+	}
+}
+
+func (in *Injector) repair(p *core.Player, killAt time.Duration) {
+	if !in.fog.Failover(p) {
+		in.lapsed++
+		return
+	}
+	if in.stats != nil {
+		in.stats.InterruptionNs.Observe(int64(in.engine.Now() - killAt))
+	}
+}
+
+func (in *Injector) recover(id int64) {
+	downAt, ok := in.downSince[id]
+	if !ok {
+		return
+	}
+	delete(in.downSince, id)
+	if in.hooks.Respawn == nil {
+		return
+	}
+	sn := in.hooks.Respawn(id)
+	if sn == nil {
+		return
+	}
+	if err := in.fog.RegisterSupernode(sn); err != nil {
+		return
+	}
+	in.recovered++
+	in.emit(obs.EventFaultRecover, id, 0)
+	if in.stats != nil {
+		in.stats.MTTRNs.Observe(int64(in.engine.Now() - downAt))
+	}
+}
+
+// Finish closes the orphan ledger after the engine stops: repairs still
+// scheduled count as pending, and the always-on tallies fold into the obs
+// bundle exactly once. The ledger identity the reconciliation checks is
+//
+//	Orphaned == FailoverBackupHits + FailoverReassigns + Lapsed + PendingEnd.
+func (in *Injector) Finish() {
+	if in.finished {
+		return
+	}
+	in.finished = true
+	if in.stats == nil {
+		return
+	}
+	in.stats.Kills.Add(in.killed)
+	in.stats.Recoveries.Add(in.recovered)
+	in.stats.Orphaned.Add(in.orphaned)
+	in.stats.Lapsed.Add(in.lapsed)
+	in.stats.PendingEnd.Add(in.repairs)
+	in.stats.LinkWindows.Add(in.windows)
+	in.stats.StormJoins.Add(in.joins)
+}
+
+// Killed returns how many kills were applied so far.
+func (in *Injector) Killed() int64 { return in.killed }
+
+// Recovered returns how many recoveries re-registered a supernode.
+func (in *Injector) Recovered() int64 { return in.recovered }
+
+// Orphaned returns how many players were orphaned by kills.
+func (in *Injector) Orphaned() int64 { return in.orphaned }
+
+// Lapsed returns how many orphans were unrepairable when their repair fired.
+func (in *Injector) Lapsed() int64 { return in.lapsed }
+
+// PendingEnd returns how many orphan repairs are still scheduled.
+func (in *Injector) PendingEnd() int64 { return in.repairs }
+
+// Downtime reports how long the supernode has been down at now, and whether
+// it is down at all.
+func (in *Injector) Downtime(id int64, now time.Duration) (time.Duration, bool) {
+	at, ok := in.downSince[id]
+	if !ok {
+		return 0, false
+	}
+	return now - at, true
+}

@@ -37,6 +37,14 @@ type Link struct {
 	closed bool
 	err    error
 	wg     sync.WaitGroup
+
+	// Chaos impairment (mu-guarded): extra one-way delay and a fractional
+	// loss rate applied at Send. Loss is deterministic — an accumulator
+	// drops every 1/lossFrac-th frame — so an impaired run is reproducible
+	// frame-for-frame given the same send sequence.
+	extra    time.Duration
+	lossFrac float64
+	lossAcc  float64
 }
 
 type queued struct {
@@ -90,9 +98,31 @@ func (l *Link) writer() {
 	}
 }
 
+// Impair sets the link's chaos impairment: extra one-way delay and a
+// fractional frame loss rate in [0, 1). Zeroes restore the healthy link.
+// Safe to call concurrently with Send.
+func (l *Link) Impair(extra time.Duration, lossFrac float64) {
+	if extra < 0 {
+		extra = 0
+	}
+	if lossFrac < 0 {
+		lossFrac = 0
+	}
+	if lossFrac >= 1 {
+		lossFrac = 0.999
+	}
+	l.mu.Lock()
+	l.extra = extra
+	l.lossFrac = lossFrac
+	if lossFrac == 0 {
+		l.lossAcc = 0
+	}
+	l.mu.Unlock()
+}
+
 // Send enqueues a frame for delayed transmission. It never blocks on the
 // network; a full queue drops the frame (the link is congested) and reports
-// false.
+// false, as does the impairment loss process when it claims the frame.
 func (l *Link) Send(t proto.MsgType, payload []byte) bool {
 	l.mu.Lock()
 	if l.closed || l.err != nil {
@@ -102,16 +132,32 @@ func (l *Link) Send(t proto.MsgType, payload []byte) bool {
 		}
 		return false
 	}
-	l.mu.Unlock()
-	select {
-	case l.sendq <- queued{release: time.Now().Add(l.delay), typ: t, payload: payload}:
-		return true
-	default:
-		if l.stats != nil {
-			l.stats.DroppedFrames.Inc()
+	if l.lossFrac > 0 {
+		l.lossAcc += l.lossFrac
+		if l.lossAcc >= 1 {
+			l.lossAcc--
+			l.mu.Unlock()
+			if l.stats != nil {
+				l.stats.DroppedFrames.Inc()
+			}
+			return false
 		}
-		return false
 	}
+	delay := l.delay + l.extra
+	// Enqueue while still holding mu: Close closes sendq under the same
+	// lock, so a send can never race the close. The select never blocks (a
+	// full queue drops), so holding the lock here is cheap.
+	ok := false
+	select {
+	case l.sendq <- queued{release: time.Now().Add(delay), typ: t, payload: payload}:
+		ok = true
+	default:
+	}
+	l.mu.Unlock()
+	if !ok && l.stats != nil {
+		l.stats.DroppedFrames.Inc()
+	}
+	return ok
 }
 
 // Recv reads the next frame from the connection (receive side is undelayed;

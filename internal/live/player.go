@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sort"
@@ -28,6 +29,10 @@ type PlayerConfig struct {
 	// CloudAddr receives the action stream; StreamAddr serves the video.
 	CloudAddr  string
 	StreamAddr string
+	// BackupAddrs are fallback supernode stream addresses, tried in order
+	// (wrapping) when the serving stream dies mid-run — the live analogue
+	// of the fog's backup-failover list.
+	BackupAddrs []string
 	// ActionDelay is the injected one-way player→cloud latency.
 	ActionDelay time.Duration
 	// ActionEvery is the input cadence (see DefaultActionEvery).
@@ -74,6 +79,8 @@ type PlayerReport struct {
 	Actions      int64
 	MeanResponse time.Duration
 	P95Response  time.Duration
+	// Failovers counts mid-run stream reattachments to a backup supernode.
+	Failovers int64
 	// WithinBudget is the fraction of response samples inside the game's
 	// response-latency requirement.
 	WithinBudget float64
@@ -93,9 +100,11 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	}
 
 	// Action connection.
-	actConn, err := net.Dial("tcp", cfg.CloudAddr)
+	actCtx, actCancel := context.WithTimeout(context.Background(), dialDeadline)
+	actConn, err := dialBackoff(actCtx, cfg.CloudAddr, cfg.ID)
+	actCancel()
 	if err != nil {
-		return PlayerReport{}, fmt.Errorf("live: dial cloud: %w", err)
+		return PlayerReport{}, err
 	}
 	var actStats *obs.LinkStats
 	if cfg.Obs != nil {
@@ -110,24 +119,46 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		return PlayerReport{}, fmt.Errorf("live: cloud rejected player: %v", err)
 	}
 
-	// Stream subscription.
-	strConn, err := net.Dial("tcp", cfg.StreamAddr)
-	if err != nil {
-		return PlayerReport{}, fmt.Errorf("live: dial supernode: %w", err)
-	}
-	defer strConn.Close()
+	// Stream subscription, with backup supernodes as failover targets.
 	join := proto.JoinStream{
 		Player: cfg.ID,
 		GameID: int32(cfg.GameID),
 		ViewX:  5000, ViewY: 5000, ViewR: cfg.ViewRadius,
 		LevelCap: uint8(g.StartLevel),
 	}
-	if err := proto.WriteFrame(strConn, proto.TJoinStream, proto.MarshalJoinStream(join)); err != nil {
+	addrs := append([]string{cfg.StreamAddr}, cfg.BackupAddrs...)
+	subscribe := func(addr string) (net.Conn, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), dialDeadline)
+		conn, err := dialBackoff(ctx, addr, cfg.ID)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		if err := proto.WriteFrame(conn, proto.TJoinStream, proto.MarshalJoinStream(join)); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		conn.SetReadDeadline(time.Now().Add(dialDeadline))
+		if typ, _, err := proto.ReadFrame(conn); err != nil || typ != proto.TAck {
+			conn.Close()
+			return nil, fmt.Errorf("live: supernode %s rejected join: %v", addr, err)
+		}
+		return conn, nil
+	}
+	addrIdx := 0
+	var strConn net.Conn
+	for i := range addrs {
+		conn, serr := subscribe(addrs[i])
+		if serr == nil {
+			strConn, addrIdx = conn, i
+			break
+		}
+		err = serr
+	}
+	if strConn == nil {
 		return PlayerReport{}, err
 	}
-	if typ, _, err := proto.ReadFrame(strConn); err != nil || typ != proto.TAck {
-		return PlayerReport{}, fmt.Errorf("live: supernode rejected join: %v", err)
-	}
+	defer func() { strConn.Close() }()
 
 	var (
 		mu        sync.Mutex
@@ -170,13 +201,37 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		}
 	}()
 
-	// Segment receiver.
+	// Segment receiver. A mid-run stream death fails over to the next
+	// address in the backup ring; the session only ends early when every
+	// candidate refuses.
 	deadline := time.Now().Add(duration)
 	strConn.SetReadDeadline(deadline.Add(2 * time.Second))
 	for time.Now().Before(deadline) {
 		typ, payload, err := proto.ReadFrame(strConn)
 		if err != nil {
-			break
+			if !time.Now().Before(deadline) || len(addrs) == 1 {
+				break
+			}
+			strConn.Close()
+			var next net.Conn
+			for i := 1; i <= len(addrs) && next == nil; i++ {
+				if !time.Now().Before(deadline) {
+					break
+				}
+				next, _ = subscribe(addrs[(addrIdx+i)%len(addrs)])
+				if next != nil {
+					addrIdx = (addrIdx + i) % len(addrs)
+				}
+			}
+			if next == nil {
+				break
+			}
+			strConn = next
+			strConn.SetReadDeadline(deadline.Add(2 * time.Second))
+			mu.Lock()
+			report.Failovers++
+			mu.Unlock()
+			continue
 		}
 		if typ != proto.TSegment {
 			continue

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -64,6 +65,10 @@ type Supernode struct {
 	stamps  map[int64]time.Duration
 	players map[int64]*playerStream
 	closed  bool
+	// Current chaos impairment, applied to every player stream link and
+	// inherited by streams that join while it is active.
+	impExtra time.Duration
+	impLoss  float64
 	// deltas and deltaBytes count the update stream (the Λ grounding).
 	deltas     int64
 	deltaBytes int64
@@ -85,9 +90,11 @@ func StartSupernode(cfg SupernodeConfig) (*Supernode, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("tcp", cfg.CloudAddr)
+	ctx, cancel := context.WithTimeout(context.Background(), dialDeadline)
+	conn, err := dialBackoff(ctx, cfg.CloudAddr, cfg.ID)
+	cancel()
 	if err != nil {
-		return nil, fmt.Errorf("live: dial cloud: %w", err)
+		return nil, err
 	}
 	var cloudStats *obs.LinkStats
 	if cfg.Obs != nil {
@@ -225,6 +232,7 @@ func (sn *Supernode) servePlayer(conn net.Conn) {
 		return
 	}
 	sn.players[join.Player] = &playerStream{link: link, join: join, g: g}
+	link.Impair(sn.impExtra, sn.impLoss)
 	sn.mu.Unlock()
 	link.Send(proto.TAck, proto.MarshalAck(proto.Ack{}))
 
@@ -240,6 +248,19 @@ func (sn *Supernode) servePlayer(conn net.Conn) {
 	}
 	sn.mu.Unlock()
 	link.Close()
+}
+
+// ImpairStreams applies a chaos impairment — extra one-way delay and a
+// fractional frame loss rate — to every current player stream link, and to
+// streams joining while it is active. Zeroes restore healthy links.
+func (sn *Supernode) ImpairStreams(extra time.Duration, lossFrac float64) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.impExtra = extra
+	sn.impLoss = lossFrac
+	for _, ps := range sn.players {
+		ps.link.Impair(extra, lossFrac)
+	}
 }
 
 // renderLoop produces one segment per frame interval for every player:

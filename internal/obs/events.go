@@ -33,6 +33,14 @@ const (
 	// EventDropDecision fires when the Eq. 14 deadline repair sheds
 	// packets. Player = the late segment's owner, A = packet deficit.
 	EventDropDecision
+	// EventFaultKill fires when the fault injector kills a supernode.
+	// Node = the supernode, A = players orphaned.
+	EventFaultKill
+	// EventFaultRecover fires when a killed supernode re-registers.
+	EventFaultRecover
+	// EventFaultLink fires on an impairment window edge. A = 1 entering the
+	// impaired state, 0 leaving it.
+	EventFaultLink
 )
 
 // String names the kind for logs and tests.
@@ -54,6 +62,12 @@ func (k EventKind) String() string {
 		return "failover"
 	case EventDropDecision:
 		return "drop_decision"
+	case EventFaultKill:
+		return "fault_kill"
+	case EventFaultRecover:
+		return "fault_recover"
+	case EventFaultLink:
+		return "fault_link"
 	default:
 		return "unknown"
 	}
@@ -212,6 +226,61 @@ func AssignStatsIn(r *Registry) *AssignStats {
 		FailoverBackupHits: r.Counter("cloudfog_assign_failover_backup_total", "failovers absorbed by a recorded backup"),
 		FailoverReassigns:  r.Counter("cloudfog_assign_failover_rerun_total", "failovers that reran the full protocol"),
 		Reassigned:         r.Counter("cloudfog_assign_reassigned_total", "cooperative reassignments committed"),
+	}
+}
+
+// FaultStats instruments the fault-injection subsystem: kill/recover churn,
+// orphan repair outcomes, impairment window edges, and the recovery-time
+// distributions the resilience figures plot. The orphan ledger identity is
+//
+//	Orphaned == failover backup hits + failover reruns + Lapsed + PendingEnd
+//
+// where the failover counters live in AssignStats (the injector drives the
+// real assignment protocol), Lapsed counts orphans whose session ended before
+// their repair fired, and PendingEnd counts repairs still pending when the
+// horizon hit.
+type FaultStats struct {
+	Kills          *Counter // supernodes killed by the injector
+	Recoveries     *Counter // killed supernodes re-registered
+	Orphaned       *Counter // players orphaned by kills
+	Lapsed         *Counter // orphans gone offline before their repair fired
+	PendingEnd     *Counter // orphan repairs still pending at the horizon
+	LinkWindows    *Counter // impairment windows entered (loss/latency/bw/cloud)
+	StormJoins     *Counter // flash-crowd joins injected
+	MTTRNs         *Histogram
+	InterruptionNs *Histogram // per-orphan detection→repair interruption
+
+	// Sink, when non-nil, receives fault kill/recover/link events.
+	Sink EventSink
+}
+
+// NewFaultStats returns a standalone bundle (not registry-backed).
+func NewFaultStats() *FaultStats {
+	return &FaultStats{
+		Kills:          new(Counter),
+		Recoveries:     new(Counter),
+		Orphaned:       new(Counter),
+		Lapsed:         new(Counter),
+		PendingEnd:     new(Counter),
+		LinkWindows:    new(Counter),
+		StormJoins:     new(Counter),
+		MTTRNs:         NewHistogram(LatencyBucketsNs()),
+		InterruptionNs: NewHistogram(LatencyBucketsNs()),
+	}
+}
+
+// FaultStatsIn binds the canonical fault metrics in a registry.
+func FaultStatsIn(r *Registry) *FaultStats {
+	return &FaultStats{
+		Kills:          r.Counter("cloudfog_fault_kills_total", "supernodes killed by the fault injector"),
+		Recoveries:     r.Counter("cloudfog_fault_recoveries_total", "killed supernodes re-registered"),
+		Orphaned:       r.Counter("cloudfog_fault_orphaned_total", "players orphaned by supernode kills"),
+		Lapsed:         r.Counter("cloudfog_fault_lapsed_total", "orphans whose session ended before repair"),
+		PendingEnd:     r.Counter("cloudfog_fault_pending_end_total", "orphan repairs still pending at the horizon"),
+		LinkWindows:    r.Counter("cloudfog_fault_link_windows_total", "impairment windows entered"),
+		StormJoins:     r.Counter("cloudfog_fault_storm_joins_total", "flash-crowd joins injected"),
+		MTTRNs:         r.Histogram("cloudfog_fault_mttr_ns", "supernode kill-to-recover downtime", LatencyBucketsNs()),
+		InterruptionNs: r.Histogram("cloudfog_fault_interruption_ns", "per-orphan kill-to-repair interruption", LatencyBucketsNs()),
 	}
 }
 

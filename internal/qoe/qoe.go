@@ -23,6 +23,19 @@ import (
 	"cloudfog/internal/stream"
 )
 
+// Impairment supplies network fault state as pure functions of virtual
+// time: the fault package's compiled Schedule implements it. Purity is what
+// keeps chaos runs deterministic — the same query time always gets the same
+// answer, regardless of sweep parallelism or instrumentation.
+type Impairment interface {
+	// ExtraLatency is the additional one-way propagation delay at now.
+	ExtraLatency(now time.Duration) time.Duration
+	// LossFrac is the wire loss fraction at now, in [0, 1].
+	LossFrac(now time.Duration) float64
+	// BandwidthScale is the uplink capacity multiplier at now (1 = clean).
+	BandwidthScale(now time.Duration) float64
+}
+
 // Options toggles the two CloudFog strategies and carries their parameters.
 type Options struct {
 	// Adaptation enables receiver-driven encoding rate adaptation.
@@ -51,6 +64,12 @@ type Options struct {
 	SizeJitterSigma float64
 	// Seed drives the per-run randomness (frame-size jitter).
 	Seed int64
+
+	// Impair, when non-nil, modulates the wire: extra propagation latency,
+	// deterministic packet loss, and uplink bandwidth scaling, all queried
+	// at the moment each segment touches the link. Nil means a clean wire
+	// and costs one nil-check per segment.
+	Impair Impairment
 
 	// Obs, when non-nil, receives the node's observability: segment
 	// lifecycle counters and delivery-latency histogram (folded from
@@ -392,6 +411,11 @@ func (s *ServerSim) pump() {
 			continue
 		}
 		s.busy = true
+		if imp := s.opts.Impair; imp != nil {
+			// Bandwidth collapse: rescale the uplink for this transmission
+			// from the impairment window active right now.
+			s.buffer.SetBandwidthScale(imp.BandwidthScale(now))
+		}
 		tx := s.buffer.TransmissionTime(seg)
 		s.engine.SchedulePayload(tx, s.transmitFn, seg)
 		return
@@ -403,15 +427,39 @@ func (s *ServerSim) pump() {
 func (s *ServerSim) transmitted(arg any) {
 	seg := arg.(*stream.Segment)
 	s.busy = false
+	now := s.engine.Now()
 	ss := s.sessionFor(seg.PlayerID)
 	if ss != nil {
+		if imp := s.opts.Impair; imp != nil {
+			// Wire loss: the fraction of the segment's surviving packets
+			// shed by the loss window active when it leaves the uplink.
+			// Deterministic rounding, no runtime randomness.
+			if lf := imp.LossFrac(now); lf > 0 {
+				rem := seg.RemainingPackets()
+				lost := int(float64(rem)*lf + 0.5)
+				if lost >= rem {
+					// The whole segment died on the wire.
+					if now >= s.opts.Warmup {
+						ss.meter.RecordSegment(seg, false)
+					}
+					s.dropSegment(now, seg)
+					s.putSegment(seg)
+					s.pump()
+					return
+				}
+				seg.Dropped += lost
+			}
+		}
 		prop := ss.spec.Latency
+		if imp := s.opts.Impair; imp != nil {
+			prop += imp.ExtraLatency(now)
+		}
 		s.buffer.RecordPropagation(seg.PlayerID, prop)
-		s.emit(obs.EventSegmentTransmitted, s.engine.Now(), seg.PlayerID,
+		s.emit(obs.EventSegmentTransmitted, now, seg.PlayerID,
 			int64(seg.RemainingBytes(s.opts.Stream.PacketSize)), 0)
 		s.engine.SchedulePayload(prop, s.deliverFn, seg)
 	} else {
-		s.dropSegment(s.engine.Now(), seg)
+		s.dropSegment(now, seg)
 		s.putSegment(seg)
 	}
 	s.pump()

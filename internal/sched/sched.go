@@ -74,7 +74,8 @@ func DefaultConfig() Config {
 type Buffer struct {
 	cfg       Config
 	streamCfg stream.Config
-	bandwidth float64 // uplink λ_r in bits/second
+	bandwidth float64 // current uplink λ_r in bits/second (nominal × scale)
+	nominal   float64 // the unimpaired uplink bandwidth
 	queue     []*stream.Segment
 	head      int // queue[head:] is the live queue
 	maxBytes  int // 0 = unbounded
@@ -116,9 +117,22 @@ func NewBuffer(cfg Config, streamCfg stream.Config, bandwidthBits int64) *Buffer
 		cfg:       cfg,
 		streamCfg: streamCfg,
 		bandwidth: float64(bandwidthBits),
+		nominal:   float64(bandwidthBits),
 		maxBytes:  maxBytes,
 		prop:      make(map[int64]*propEstimator),
 	}
+}
+
+// SetBandwidthScale rescales the uplink to scale × the nominal bandwidth
+// (fault injection's bandwidth collapse). The scale is floored at 1% so
+// transmission times stay finite. The queue byte bound intentionally stays
+// at the nominal sizing: a collapsed link sheds load through deadline
+// drops and longer transmissions, not a shrunken tail-drop bound.
+func (b *Buffer) SetBandwidthScale(scale float64) {
+	if scale < 0.01 {
+		scale = 0.01
+	}
+	b.bandwidth = b.nominal * scale
 }
 
 // live returns the live queue window.
