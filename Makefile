@@ -11,10 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the full suite under the race detector; the parallel figure
-# sweeps must stay clean here.
+# race runs the full suite under the race detector with shuffled test
+# order; the parallel figure sweeps must stay clean here and no test may
+# depend on package-level ordering.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # bench runs the headline benchmarks (engine, QoE node with and without
 # observability, Fig 9-11 sweeps) and writes them machine-readably so perf
@@ -22,25 +23,29 @@ race:
 bench:
 	$(GO) run ./cmd/cloudfog-bench
 
-# bench-json records this PR's numbers as BENCH_PR4.json (same schema as
-# BENCH_PR3.json) and prints the recorded-vs-live comparison against it.
+# bench-json records this PR's numbers as BENCH_PR5.json (same schema as
+# BENCH_PR4.json) and prints the recorded-vs-live comparison against it.
 bench-json:
-	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR4.json -baseline BENCH_PR3.json
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR5.json -baseline BENCH_PR4.json
 
 # bench-all runs the full per-figure benchmark suite.
 bench-all:
 	$(GO) test -run XXX -bench . -benchmem .
 
-# chaos is the resilience smoke: the fault subsystem's own suite under the
-# race detector, then a seeded chaos sim whose -report reconciles both the
-# segment ledger and the fault orphan ledger (the run fails if either is
-# unbalanced).
+# chaos is the resilience smoke: the fault and health suites under the
+# race detector, a seeded chaos sim whose -report reconciles both the
+# segment ledger and the fault orphan ledger, and the figdetect sweep
+# whose -report additionally reconciles the heartbeat detection ledger
+# (each run fails if any ledger is unbalanced).
 chaos:
-	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -race -count=1 ./internal/fault/ ./internal/health/
 	$(GO) run ./cmd/cloudfog-sim -figures figchurn,figrecovery \
 		-faults examples/chaos/profile.json \
 		-players 1500 -supernodes 100 -horizon 5s \
 		-report chaos_report.json
+	$(GO) run ./cmd/cloudfog-sim -figures figdetect \
+		-players 1500 -supernodes 100 \
+		-report detect_report.json
 
 # verify is the CI gate: static checks, the race-enabled suite, and the
 # chaos smoke.

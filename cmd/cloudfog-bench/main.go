@@ -24,6 +24,7 @@ import (
 	"cloudfog/internal/experiment"
 	"cloudfog/internal/game"
 	"cloudfog/internal/geo"
+	"cloudfog/internal/health"
 	"cloudfog/internal/metrics"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/qoe"
@@ -96,7 +97,7 @@ func compare(baselinePath string, live map[string]Result) error {
 }
 
 func main() {
-	outPath := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR5.json", "output JSON path")
 	baseline := flag.String("baseline", "", "recorded results to compare against (e.g. BENCH_PR2.json; empty = no comparison)")
 	flag.Parse()
 
@@ -158,6 +159,42 @@ func main() {
 			opts.Obs.Sink = log.Sink()
 			if _, err := qoe.RunNode(opts, 20_000_000, specs, 10*time.Second); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+
+	// One phi detector fed a heartbeat and asked for a verdict — the
+	// arithmetic both the sim monitor and the live cloud run per beat.
+	record(results, "DetectorPhiBeat", func(b *testing.B) {
+		b.ReportAllocs()
+		det := health.NewDetector(health.DetectorConfig{Mode: health.ModePhi})
+		now := time.Duration(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += time.Second
+			det.Heartbeat(now)
+			if det.Suspect(now + 500*time.Millisecond) {
+				b.Fatal("steady heartbeats suspected")
+			}
+		}
+	})
+
+	// A full heartbeat monitor driving 100 nodes for one virtual minute on
+	// the sim engine: heartbeat events, loss accounting, and the sorted
+	// evaluation sweep — the standing overhead a detector-enabled
+	// resilience figure pays.
+	record(results, "HeartbeatMonitor100", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine := sim.New()
+			mon := health.NewMonitor(engine, health.DetectorConfig{Mode: health.ModePhi}, nil, nil)
+			for id := int64(0); id < 100; id++ {
+				mon.Track(1_000_000 + id)
+			}
+			mon.Start()
+			engine.RunUntil(time.Minute)
+			if fp := mon.FalsePositives(); fp != 0 {
+				b.Fatalf("%d false positives on clean heartbeats", fp)
 			}
 		}
 	})

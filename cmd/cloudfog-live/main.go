@@ -34,6 +34,7 @@ import (
 	"cloudfog/internal/fault"
 	"cloudfog/internal/game"
 	"cloudfog/internal/geo"
+	"cloudfog/internal/health"
 	"cloudfog/internal/live"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/sim"
@@ -69,6 +70,8 @@ var (
 	fpsFlag        = flag.Int("fps", 30, "video frame rate")
 	metricsFlag    = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9100; empty = disabled)")
 	chaosFlag      = flag.String("chaos", "", "chaos mode: fault profile JSON path, or \"default\" for a built-in profile scaled to -duration")
+	detectorFlag   = flag.String("detector", "", "cloud-side failure detector fed by supernode heartbeats: timeout or phi (empty = disabled)")
+	heartbeatFlag  = flag.Duration("heartbeat", 250*time.Millisecond, "supernode heartbeat period when -detector is set")
 )
 
 func main() {
@@ -121,11 +124,23 @@ func run() error {
 		playerEPs[i] = trace.Endpoint{ID: trace.NodeID(i + 1), Pos: placer.Place(rng), Class: trace.ClassNode}
 	}
 
+	detMode, err := health.ParseMode(*detectorFlag)
+	if err != nil {
+		return err
+	}
+
 	tick := time.Second / time.Duration(*fpsFlag)
 	cloud, err := live.StartCloud(live.CloudConfig{
 		Addr:  "127.0.0.1:0",
 		World: world.DefaultConfig(),
 		Tick:  tick,
+		Detector: health.DetectorConfig{
+			Mode:     detMode,
+			Interval: *heartbeatFlag,
+		},
+		// The cloud always offers direct streaming so a player whose whole
+		// backup ring is down degrades to the cloud instead of going dark.
+		DirectFPS: *fpsFlag,
 		DelayFor: func(snID int64) time.Duration {
 			for _, ep := range snEPs {
 				if int64(ep.ID) == snID {
@@ -153,13 +168,18 @@ func run() error {
 	var snMu sync.Mutex
 	snLive := make(map[int64]*live.Supernode, len(snEPs))
 	snAddrs := make([]string, len(snEPs))
+	heartbeatEvery := time.Duration(0)
+	if detMode != health.ModeOracle {
+		heartbeatEvery = *heartbeatFlag
+	}
 	snConfig := func(ep trace.Endpoint, addr string) live.SupernodeConfig {
 		return live.SupernodeConfig{
-			ID:           int64(ep.ID),
-			CloudAddr:    cloud.Addr(),
-			Addr:         addr,
-			DelayToCloud: model.OneWay(ep, dcEP),
-			FPS:          *fpsFlag,
+			ID:             int64(ep.ID),
+			CloudAddr:      cloud.Addr(),
+			Addr:           addr,
+			DelayToCloud:   model.OneWay(ep, dcEP),
+			FPS:            *fpsFlag,
+			HeartbeatEvery: heartbeatEvery,
 			DelayFor: func(playerID int64) time.Duration {
 				for _, pe := range playerEPs {
 					if int64(pe.ID) == playerID {
@@ -313,8 +333,11 @@ func run() error {
 	// if any session did not complete, rather than aborting on the first
 	// error and hiding the rest.
 	var failed []error
-	var videoBytes, failovers int64
+	var videoBytes, failovers, cloudFallbacks int64
 	for i, r := range reports {
+		if r.CloudFallback {
+			cloudFallbacks++
+		}
 		if errs[i] != nil {
 			failed = append(failed, fmt.Errorf("player %d: %w", i+1, errs[i]))
 			fmt.Printf("player %d FAILED: %v\n", i+1, errs[i])
@@ -340,9 +363,15 @@ func run() error {
 	fmt.Printf("\nbandwidth ledger: cloud shipped %.1f KB of updates; supernodes shipped %.1f KB of video (%.1fx reduction)\n",
 		float64(updBytes)/1000, float64(videoBytes)/1000, float64(videoBytes)/float64(updBytes+1))
 	if *chaosFlag != "" {
-		fmt.Printf("chaos ledger: %d kills, %d recoveries, %d link windows, %d player failovers\n",
+		fmt.Printf("chaos ledger: %d kills, %d recoveries, %d link windows, %d player failovers (%d to the cloud)\n",
 			faultStats.Kills.Load(), faultStats.Recoveries.Load(),
-			faultStats.LinkWindows.Load(), failovers)
+			faultStats.LinkWindows.Load(), failovers, cloudFallbacks)
+	}
+	if detMode != health.ModeOracle {
+		detections, falsePos := cloud.FailureDetections()
+		fmt.Printf("detector ledger (%s, heartbeat %v): %d heartbeats received, %d failures detected, %d false positives, down now: %v\n",
+			detMode, *heartbeatFlag, cloud.HeartbeatsReceived(), detections,
+			falsePos, cloud.DetectedFailures())
 	}
 
 	if len(failed) > 0 {

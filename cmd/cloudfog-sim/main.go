@@ -12,7 +12,12 @@
 // fault profile — supernode crashes, loss bursts, latency spikes, bandwidth
 // collapse — against the fog; -faults loads a custom profile JSON, and the
 // -report fault ledger then reconciles every orphaned player against the
-// failover outcomes.
+// failover outcomes. -detector swaps their oracle repair delays for real
+// heartbeat detection (timeout or phi-accrual), -overload installs the
+// supernode degradation ladder, and -breaker guards the cloud fallback with
+// a circuit breaker; figdetect sweeps all three detector modes against the
+// same crash schedule and the -report health ledger reconciles every
+// observed kill against detections.
 //
 // Usage:
 //
@@ -20,6 +25,8 @@
 //	cloudfog-sim -figures fig9a,fig10a -report out.json
 //	cloudfog-sim -figures 5b -players 10000 -supernodes 600
 //	cloudfog-sim -figures figrecovery -faults examples/chaos/profile.json -report chaos.json
+//	cloudfog-sim -figures figdetect -report detect.json
+//	cloudfog-sim -figures figchurn -detector phi -overload -breaker
 package main
 
 import (
@@ -52,6 +59,9 @@ var (
 	traceOutFlag   = flag.String("save-trace", "", "write the latency model parameters to this file")
 	workersFlag    = flag.Int("sweep-workers", 0, "sweep worker pool size: 0 = one per CPU, 1 = serial")
 	faultsFlag     = flag.String("faults", "", "fault profile JSON for the resilience figures (figchurn, figrecovery); empty = built-in chaos profile")
+	detectorFlag   = flag.String("detector", "", "failure detector for the resilience figures: oracle (default, drawn delays), timeout, or phi")
+	overloadFlag   = flag.Bool("overload", false, "install the supernode overload-degradation ladder on resilience-figure fogs")
+	breakerFlag    = flag.Bool("breaker", false, "install the cloud-fallback circuit breaker on resilience-figure fogs")
 	cpuProfFlag    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -143,6 +153,9 @@ func run() error {
 
 	opts := experiment.DefaultRunOptions()
 	opts.Horizon = *horizonFlag
+	opts.Detector = *detectorFlag
+	opts.Overload = *overloadFlag
+	opts.Breaker = *breakerFlag
 	if *faultsFlag != "" {
 		profile, err := fault.Load(*faultsFlag)
 		if err != nil {
@@ -196,6 +209,9 @@ type runReport struct {
 	// Faults reconciles the fault-injection orphan ledger when the run
 	// injected any faults; omitted otherwise.
 	Faults *faultRecon `json:"faults,omitempty"`
+	// Health reconciles the heartbeat detection ledger when any run used a
+	// heartbeat detector; omitted otherwise.
+	Health *healthRecon `json:"health,omitempty"`
 }
 
 type reconciliation struct {
@@ -224,6 +240,20 @@ type faultRecon struct {
 	OrphansBalanced bool `json:"orphans_balanced"`
 }
 
+// healthRecon is the failure-detection ledger: every kill applied under a
+// heartbeat monitor is either detected or still pending at the horizon, and
+// false positives count live nodes wrongly suspected.
+type healthRecon struct {
+	HeartbeatsSent int64 `json:"heartbeats_sent"`
+	HeartbeatsLost int64 `json:"heartbeats_lost"`
+	KillsObserved  int64 `json:"kills_observed"`
+	Detected       int64 `json:"detected"`
+	DetectPending  int64 `json:"detect_pending"`
+	FalsePositives int64 `json:"false_positives"`
+	// KillsBalanced is detected + detect_pending == kills_observed.
+	KillsBalanced bool `json:"kills_balanced"`
+}
+
 func writeReport(path string, reg *obs.Registry) error {
 	snap := reg.Snapshot()
 	rec := reconciliation{
@@ -249,13 +279,26 @@ func writeReport(path string, reg *obs.Registry) error {
 		faults.OrphansBalanced = faults.Orphaned ==
 			faults.BackupHits+faults.Reassigns+faults.Lapsed+faults.PendingEnd
 	}
+	var hl *healthRecon
+	if snap.Counters["cloudfog_health_heartbeats_sent_total"] > 0 ||
+		snap.Counters["cloudfog_health_kills_observed_total"] > 0 {
+		hl = &healthRecon{
+			HeartbeatsSent: snap.Counters["cloudfog_health_heartbeats_sent_total"],
+			HeartbeatsLost: snap.Counters["cloudfog_health_heartbeats_lost_total"],
+			KillsObserved:  snap.Counters["cloudfog_health_kills_observed_total"],
+			Detected:       snap.Counters["cloudfog_health_detected_total"],
+			DetectPending:  snap.Counters["cloudfog_health_detect_pending_total"],
+			FalsePositives: snap.Counters["cloudfog_health_false_positives_total"],
+		}
+		hl.KillsBalanced = hl.KillsObserved == hl.Detected+hl.DetectPending
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(runReport{Snapshot: snap, Reconciliation: rec, Faults: faults}); err != nil {
+	if err := enc.Encode(runReport{Snapshot: snap, Reconciliation: rec, Faults: faults, Health: hl}); err != nil {
 		f.Close()
 		return err
 	}
@@ -275,6 +318,14 @@ func writeReport(path string, reg *obs.Registry) error {
 		if !faults.OrphansBalanced {
 			return fmt.Errorf("fault orphan ledger does not balance: %d orphaned vs %d backup + %d reassigned + %d lapsed + %d pending",
 				faults.Orphaned, faults.BackupHits, faults.Reassigns, faults.Lapsed, faults.PendingEnd)
+		}
+	}
+	if hl != nil {
+		fmt.Printf("health ledger: heartbeats=%d (lost %d) kills_observed=%d detected=%d pending=%d false_positives=%d\n",
+			hl.HeartbeatsSent, hl.HeartbeatsLost, hl.KillsObserved, hl.Detected, hl.DetectPending, hl.FalsePositives)
+		if !hl.KillsBalanced {
+			return fmt.Errorf("health detection ledger does not balance: %d kills observed vs %d detected + %d pending",
+				hl.KillsObserved, hl.Detected, hl.DetectPending)
 		}
 	}
 	return nil

@@ -103,6 +103,23 @@ func NewController(cfg Config, g game.Game) *Controller {
 // Level returns the current encoding operating point.
 func (c *Controller) Level() game.QualityLevel { return game.MustLevelAt(c.level) }
 
+// SetMaxLevel lowers the controller's ladder ceiling below the game's
+// matched level — the overload ladder's per-supernode degradation cap. The
+// current level clamps down immediately; the ceiling never rises above the
+// game's matched level and never falls below 1.
+func (c *Controller) SetMaxLevel(lvl int) {
+	if lvl < 1 {
+		lvl = 1
+	}
+	if lvl > c.g.StartLevel {
+		lvl = c.g.StartLevel
+	}
+	c.maxLevel = lvl
+	if c.level > lvl {
+		c.level = lvl
+	}
+}
+
 // UpThreshold returns the occupancy above which the controller counts
 // toward an up-adjustment: (1+β), scaled by 1/ρ when ρ scaling is on.
 func (c *Controller) UpThreshold() float64 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cloudfog/internal/geo"
+	"cloudfog/internal/health"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/stream"
 	"cloudfog/internal/trace"
@@ -52,6 +53,23 @@ type Config struct {
 	// failover events. The protocol pays one nil-check per outcome when
 	// disabled; counters never influence assignment decisions.
 	Obs *obs.AssignStats
+
+	// Overload, when non-nil, runs the supernode degradation ladder: the
+	// fog feeds it slot occupancy on every attach/detach and honors its
+	// admission, backup-duty, level-cap and migration verdicts. Nil keeps
+	// the PR-4 binary capacity check bit-identical.
+	Overload *health.Overload
+	// Breaker, when non-nil, guards the direct-cloud fallback so a degraded
+	// cloud is probed on the breaker's schedule instead of hammered by
+	// every failover. Requires Now.
+	Breaker *health.Breaker
+	// Now supplies the control-plane clock consumed by Overload episode
+	// timing and the Breaker probe schedule — the sim engine's Now, or a
+	// wall-clock offset on a testbed.
+	Now func() time.Duration
+	// Health, when non-nil, counts admission-control rejections and
+	// overload migrations (cloudfog_health_*).
+	Health *obs.HealthStats
 }
 
 // DefaultConfig returns the configuration used by the paper-scale
@@ -88,6 +106,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: StreamOverhead %v < 1", c.StreamOverhead)
 	case c.Latency == nil:
 		return fmt.Errorf("core: nil latency source")
+	case c.Breaker != nil && c.Now == nil:
+		return fmt.Errorf("core: Breaker set without Now (the probe schedule needs a clock)")
 	}
 	return c.Stream.Validate()
 }

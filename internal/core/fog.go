@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cloudfog/internal/game"
+	"cloudfog/internal/health"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/spatial"
@@ -42,6 +43,11 @@ type Fog struct {
 	shortlistOK func(id int64) bool
 
 	players map[int64]*Player
+
+	// attachCounter stamps every supernode attachment so overload
+	// migration can evict newest-first (the players with the least
+	// session investment on the node).
+	attachCounter int64
 
 	// Scratch buffers reused across assignment-protocol calls.
 	nbrScratch   []spatial.Neighbor
@@ -85,6 +91,12 @@ func BuildFog(cfg Config, dcs []*Datacenter, sns []*Supernode, rng *sim.Rand) (*
 	}
 	f.shortlistOK = func(id int64) bool {
 		if f.cfg.Exclude != nil && f.cfg.Exclude(id) {
+			return false
+		}
+		if f.cfg.Overload != nil && !f.cfg.Overload.Admit(id) {
+			if f.cfg.Health != nil {
+				f.cfg.Health.JoinsRejected.Inc()
+			}
 			return false
 		}
 		return f.sns[id].Available() > 0
@@ -177,6 +189,9 @@ func (f *Fog) FailSupernode(id int64) []*Player {
 	for _, p := range orphans {
 		p.Attached = Attachment{}
 	}
+	if f.cfg.Overload != nil {
+		f.cfg.Overload.Forget(id)
+	}
 	return orphans
 }
 
@@ -226,10 +241,43 @@ func (f *Fog) detach(p *Player) {
 	switch p.Attached.Kind {
 	case AttachSupernode:
 		delete(p.Attached.SN.players, p.ID)
+		f.observeOccupancy(p.Attached.SN)
 	case AttachCloud, AttachEdge:
 		p.Attached.DC.RemoveDirect(p.ID)
 	}
 	p.Attached = Attachment{}
+}
+
+// observeOccupancy feeds a supernode's post-change slot occupancy into the
+// overload ladder. One nil-check when the ladder is off.
+func (f *Fog) observeOccupancy(sn *Supernode) {
+	if f.cfg.Overload != nil {
+		f.cfg.Overload.Observe(sn.ID, sn.Load(), sn.Capacity)
+	}
+}
+
+// attachSN commits a supernode attachment: membership, the attachment
+// record, the migration-order stamp, and the ladder observation.
+func (f *Fog) attachSN(p *Player, sn *Supernode, streamLat time.Duration) {
+	sn.players[p.ID] = p
+	p.Attached = Attachment{
+		Kind:          AttachSupernode,
+		DC:            sn.DC,
+		SN:            sn,
+		StreamLatency: streamLat,
+		UpdateLatency: sn.UpdateLatency,
+	}
+	f.attachCounter++
+	p.attachSeq = f.attachCounter
+	f.observeOccupancy(sn)
+}
+
+// now reads the control-plane clock, frozen at zero when unset.
+func (f *Fog) now() time.Duration {
+	if f.cfg.Now != nil {
+		return f.cfg.Now()
+	}
+	return 0
 }
 
 // assign implements the join protocol: the cloud shortlists the
@@ -280,14 +328,7 @@ func (f *Fog) assign(p *Player) {
 		if pr.sn.Available() <= 0 {
 			continue
 		}
-		pr.sn.players[p.ID] = p
-		p.Attached = Attachment{
-			Kind:          AttachSupernode,
-			DC:            pr.sn.DC,
-			SN:            pr.sn,
-			StreamLatency: pr.delay,
-			UpdateLatency: pr.sn.UpdateLatency,
-		}
+		f.attachSN(p, pr.sn, pr.delay)
 		rest := probes[i+1:]
 		if cap(p.Backups) < len(rest) {
 			p.Backups = make([]*Supernode, 0, len(rest))
@@ -295,6 +336,11 @@ func (f *Fog) assign(p *Player) {
 			p.Backups = p.Backups[:0]
 		}
 		for _, b := range rest {
+			// A shedding supernode has stepped off backup duty: recording
+			// it would aim future failovers at an overloaded node.
+			if f.cfg.Overload != nil && !f.cfg.Overload.AllowBackup(b.sn.ID) {
+				continue
+			}
 			p.Backups = append(p.Backups, b.sn)
 		}
 		if o := f.cfg.Obs; o != nil {
@@ -322,18 +368,17 @@ func (f *Fog) failover(p *Player) {
 		if f.cfg.Exclude != nil && f.cfg.Exclude(sn.ID) {
 			continue
 		}
+		if f.cfg.Overload != nil && !f.cfg.Overload.Admit(sn.ID) {
+			if f.cfg.Health != nil {
+				f.cfg.Health.JoinsRejected.Inc()
+			}
+			continue
+		}
 		d := f.cfg.Latency.OneWay(p.Endpoint(), sn.Endpoint())
 		if d > lmax {
 			continue
 		}
-		sn.players[p.ID] = p
-		p.Attached = Attachment{
-			Kind:          AttachSupernode,
-			DC:            sn.DC,
-			SN:            sn,
-			StreamLatency: d,
-			UpdateLatency: sn.UpdateLatency,
-		}
+		f.attachSN(p, sn, d)
 		p.Backups = p.Backups[i+1:]
 		if o := f.cfg.Obs; o != nil {
 			o.FailoverBackupHits.Inc()
@@ -391,23 +436,108 @@ func (f *Fog) TryReassign(p *Player, avoid func(*Supernode) bool) bool {
 		return false
 	}
 	delete(cur.players, p.ID)
-	best.players[p.ID] = p
-	p.Attached = Attachment{
-		Kind:          AttachSupernode,
-		DC:            best.DC,
-		SN:            best,
-		StreamLatency: bestStream,
-		UpdateLatency: best.UpdateLatency,
-	}
+	f.observeOccupancy(cur)
+	f.attachSN(p, best, bestStream)
 	if o := f.cfg.Obs; o != nil {
 		o.Reassigned.Inc()
 	}
 	return true
 }
 
+// RelieveOverloaded migrates players off every supernode whose degradation
+// ladder reached the Migrating rung: newest attachments leave first (they
+// have the least session investment on the node) and rejoin through the full
+// assignment protocol, whose admission control keeps them off still-rejecting
+// nodes. The sweep repeats per node until its ladder retreats below
+// Migrating or it has no players left. Returns how many players moved.
+func (f *Fog) RelieveOverloaded() int {
+	o := f.cfg.Overload
+	if o == nil {
+		return 0
+	}
+	prev := f.cfg.Exclude
+	// While a node drains, it must not re-admit its own evictees: shedding
+	// relaxes the shedder's ladder mid-loop, so without the draining-ID
+	// exclusion a small node takes the migrated player straight back and
+	// ping-pongs forever. Evictees are also kept off any node that one more
+	// admit would tip into Migrating — otherwise relief just moves the
+	// overflow sideways (a two-slot node jumps Normal→Migrating on a single
+	// join) and the sweep chases it around the fog.
+	draining := int64(-1)
+	f.cfg.Exclude = func(x int64) bool {
+		if x == draining || (prev != nil && prev(x)) {
+			return true
+		}
+		if sn := f.sns[x]; sn != nil && o.WouldMigrate(sn.Load()+1, sn.Capacity) {
+			return true
+		}
+		return false
+	}
+	moved := 0
+	// Draining one node can tip a smaller one into Migrating after its
+	// turn, so passes repeat until one moves nobody — with a hard cap so
+	// the call provably terminates (stragglers wait for the next relief
+	// tick).
+	for pass := 0; pass < 8; pass++ {
+		movedThisPass := 0
+		for _, sn := range f.snOrder {
+			draining = sn.ID
+			for o.ShouldMigrate(sn.ID) && sn.Load() > 0 {
+				var newest *Player
+				for _, p := range sn.players {
+					// attachSeq is unique, so the scan is deterministic
+					// even over map order.
+					if newest == nil || p.attachSeq > newest.attachSeq {
+						newest = p
+					}
+				}
+				delete(sn.players, newest.ID)
+				f.observeOccupancy(sn)
+				newest.Attached = Attachment{}
+				newest.Backups = nil
+				f.assign(newest)
+				movedThisPass++
+				if f.cfg.Health != nil {
+					f.cfg.Health.Migrations.Inc()
+				}
+			}
+		}
+		moved += movedThisPass
+		if movedThisPass == 0 {
+			break
+		}
+	}
+	f.cfg.Exclude = prev
+	return moved
+}
+
+// SupernodeLevelCap returns the encoding-ladder cap the overload ladder
+// currently imposes on one supernode's players, given a player's preferred
+// start level; 0 means uncapped (no ladder configured).
+func (f *Fog) SupernodeLevelCap(snID int64, startLevel int) int {
+	if f.cfg.Overload == nil {
+		return 0
+	}
+	return f.cfg.Overload.LevelCap(snID, startLevel)
+}
+
+// Overload returns the configured degradation ladder, if any.
+func (f *Fog) Overload() *health.Overload { return f.cfg.Overload }
+
 // attachCloud connects a player directly to the geographically closest
-// datacenter (by the cloud's estimate of the player's position).
+// datacenter (by the cloud's estimate of the player's position). When a
+// circuit breaker guards the fallback, a degraded cloud is probed on the
+// breaker's schedule instead of absorbing every failover: a denied attach
+// leaves the player unserved until the next probe window.
 func (f *Fog) attachCloud(p *Player, estX, estY float64) {
+	b := f.cfg.Breaker
+	var now time.Duration
+	if b != nil {
+		now = f.now()
+		if !b.Allow(now) {
+			return
+		}
+	}
 	best := f.dcs[0]
 	bestDist := dist2(estX, estY, best.Pos.X, best.Pos.Y)
 	for _, dc := range f.dcs[1:] {
@@ -420,6 +550,20 @@ func (f *Fog) attachCloud(p *Player, estX, estY float64) {
 		Kind:          AttachCloud,
 		DC:            best,
 		StreamLatency: f.cfg.Latency.OneWay(p.Endpoint(), best.Endpoint()),
+	}
+	if b != nil {
+		// The probe's verdict is whether the cloud's egress can sustain the
+		// player's stream in real time at any ladder level: a degraded
+		// cloud (collapsed egress) cannot carry even the lowest level and
+		// trips the breaker instead of collecting more players. A healthy
+		// cloud that merely misses the game's latency budget — the normal
+		// case the fog exists to fix — is not a breaker failure, and the
+		// player's own downlink never counts against the cloud.
+		if best.Share() >= mustBitrate(1) {
+			b.RecordSuccess(now)
+		} else {
+			b.RecordFailure(now)
+		}
 	}
 	if o := f.cfg.Obs; o != nil {
 		o.JoinsCloud.Inc()

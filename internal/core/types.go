@@ -164,6 +164,10 @@ type Player struct {
 	// Backups are fallback supernodes recorded at assignment time
 	// (paper §III-A3), nearest-first.
 	Backups []*Supernode
+
+	// attachSeq orders supernode attachments fog-wide; overload migration
+	// evicts the highest stamp (newest attachment) first.
+	attachSeq int64
 }
 
 // Endpoint returns the player's latency-trace endpoint.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudfog/internal/fault"
+	"cloudfog/internal/health"
 	"cloudfog/internal/metrics"
 )
 
@@ -41,6 +42,28 @@ type RunOptions struct {
 	// replay (figrecovery runs it verbatim; figchurn borrows its duration).
 	// Nil uses the built-in chaos profile keyed by the world seed.
 	Faults *fault.Profile
+	// DetectIntervals is the figdetect heartbeat-interval sweep.
+	DetectIntervals []time.Duration
+	// Detector selects how the resilience figures notice supernode
+	// failures: "oracle" (or empty, the default — drawn repair delays,
+	// bit-identical to the pre-health figures), "timeout", or "phi".
+	// figdetect always sweeps all three modes regardless.
+	Detector string
+	// Overload installs the supernode degradation ladder on every fog the
+	// resilience figures build.
+	Overload bool
+	// Breaker installs the cloud-fallback circuit breaker on those fogs.
+	Breaker bool
+}
+
+// healthOptions resolves the run's failure-handling knobs, rejecting unknown
+// detector names.
+func (o RunOptions) healthOptions() (HealthOptions, error) {
+	mode, err := health.ParseMode(o.Detector)
+	if err != nil {
+		return HealthOptions{}, err
+	}
+	return HealthOptions{Detector: mode, Overload: o.Overload, Breaker: o.Breaker}, nil
 }
 
 // DefaultRunOptions returns the sweeps the paper's evaluation uses.
@@ -54,6 +77,7 @@ func DefaultRunOptions() RunOptions {
 		ContinuityCounts: []int{500, 1000, 2000, 3000},
 		Loads:            []int{5, 10, 15, 20, 25, 30},
 		ChurnRates:       []float64{0, 1, 2, 4, 8},
+		DetectIntervals:  []time.Duration{2 * time.Second, 5 * time.Second, 10 * time.Second, 15 * time.Second, 20 * time.Second},
 	}
 }
 
@@ -92,6 +116,9 @@ func (o RunOptions) filled() RunOptions {
 	}
 	if len(o.ChurnRates) == 0 {
 		o.ChurnRates = d.ChurnRates
+	}
+	if len(o.DetectIntervals) == 0 {
+		o.DetectIntervals = d.DetectIntervals
 	}
 	return o
 }
@@ -213,7 +240,11 @@ var figures = []Figure{
 		XLabel: "kills/min",
 		Run: func(w *World, o RunOptions) (FigureResult, error) {
 			o = o.filled()
-			s, err := QoEVsChurn(w, o.ChurnRates, resilienceProfile(w, o).Duration.Duration)
+			ho, err := o.healthOptions()
+			if err != nil {
+				return FigureResult{}, err
+			}
+			s, err := QoEVsChurn(w, o.ChurnRates, resilienceProfile(w, o).Duration.Duration, ho)
 			return FigureResult{Series: s}, err
 		},
 	},
@@ -223,7 +254,21 @@ var figures = []Figure{
 		XLabel: "t (s)",
 		Run: func(w *World, o RunOptions) (FigureResult, error) {
 			o = o.filled()
-			s, title, err := RecoveryTimeline(w, resilienceProfile(w, o), o.Horizon)
+			ho, err := o.healthOptions()
+			if err != nil {
+				return FigureResult{}, err
+			}
+			s, title, err := RecoveryTimeline(w, resilienceProfile(w, o), o.Horizon, ho)
+			return FigureResult{Title: title, Series: s}, err
+		},
+	},
+	{
+		Name:   "figdetect",
+		Title:  "Failure detection latency: oracle vs timeout vs phi-accrual",
+		XLabel: "heartbeat interval (s)",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			o = o.filled()
+			s, title, err := DetectionLatency(w, o.DetectIntervals)
 			return FigureResult{Title: title, Series: s}, err
 		},
 	},

@@ -34,10 +34,16 @@ type nodeKey struct {
 }
 
 // groupRun partitions the joined players by serving node, runs the
-// segment-level QoE simulation per node, and aggregates all players.
-func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.Duration) (qoe.Summary, error) {
+// segment-level QoE simulation per node, and aggregates all players. sys may
+// be nil; when it is a Fog with the overload ladder installed, supernode-
+// attached players inherit their node's current encoding-level cap.
+func groupRun(w *World, sys core.System, players []*core.Player, opts qoe.Options, horizon time.Duration) (qoe.Summary, error) {
 	if w.Cfg.Obs != nil && opts.Obs == nil {
 		opts.Obs = nodeStatsFor(w)
+	}
+	var capOf func(snID int64, startLevel int) int
+	if fog, ok := sys.(*core.Fog); ok && fog.Overload() != nil {
+		capOf = fog.SupernodeLevelCap
 	}
 	type group struct {
 		uplink int64
@@ -51,10 +57,14 @@ func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.D
 		}
 		var key nodeKey
 		var uplink int64
+		var levelCap int
 		switch a.Kind {
 		case core.AttachSupernode:
 			key = nodeKey{kind: 1, id: a.SN.ID}
 			uplink = a.SN.Uplink
+			if capOf != nil {
+				levelCap = capOf(a.SN.ID, p.Game.StartLevel)
+			}
 		case core.AttachCloud, core.AttachEdge:
 			key = nodeKey{kind: 0, id: a.DC.ID}
 			uplink = a.DC.Egress
@@ -69,6 +79,7 @@ func groupRun(w *World, players []*core.Player, opts qoe.Options, horizon time.D
 			Game:         p.Game,
 			Latency:      a.StreamLatency,
 			InboundDelay: a.UpdateLatency,
+			LevelCap:     levelCap,
 		})
 	}
 	keys := make([]nodeKey, 0, len(groups))
@@ -124,7 +135,7 @@ func ContinuityVsPlayers(w *World, counts []int, horizon time.Duration) ([]metri
 		players := pw.JoinAll(sys, n)
 		opts := systems[si].opts
 		opts.Seed = pw.Cfg.Seed + int64(n)
-		sum, err := groupRun(pw, players, opts, horizon)
+		sum, err := groupRun(pw, sys, players, opts, horizon)
 		if err != nil {
 			return err
 		}

@@ -6,11 +6,87 @@ import (
 
 	"cloudfog/internal/core"
 	"cloudfog/internal/fault"
+	"cloudfog/internal/health"
 	"cloudfog/internal/metrics"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/qoe"
 	"cloudfog/internal/sim"
 )
+
+// HealthOptions selects the failure-handling apparatus of a resilience run.
+// The zero value reproduces the pre-health behaviour bit-for-bit: orphan
+// repairs use the oracle detection-delay draw, no overload ladder, no
+// circuit breaker.
+type HealthOptions struct {
+	// Detector chooses how supernode failures are noticed: ModeOracle
+	// (default) draws the repair delay, ModeTimeout and ModePhi run the
+	// heartbeat monitor.
+	Detector health.Mode
+	// DetectorConfig tunes the monitor; zero-value fields use the package
+	// defaults. Mode is overridden by Detector.
+	DetectorConfig health.DetectorConfig
+	// Overload installs the supernode degradation ladder on the fog.
+	Overload bool
+	// Breaker installs the cloud-fallback circuit breaker on the fog.
+	Breaker bool
+}
+
+// enabled reports whether any apparatus beyond the oracle is requested.
+func (h HealthOptions) enabled() bool {
+	return h.Detector != health.ModeOracle || h.Overload || h.Breaker
+}
+
+// healthStatsFor binds the canonical health metrics in the world's registry,
+// when one is attached.
+func healthStatsFor(w *World) *obs.HealthStats {
+	if w.Cfg.Obs == nil {
+		return nil
+	}
+	return obs.HealthStatsIn(w.Cfg.Obs)
+}
+
+// newHealthFog mints a default-scale fog with the run's health apparatus
+// installed: the overload ladder and breaker ride the core config, and the
+// heartbeat monitor (returned separately, nil in oracle mode) rides the
+// engine. loss feeds the schedule's loss windows into heartbeat delivery; it
+// may be nil. A zero HealthOptions builds exactly what NewFog builds.
+func (w *World) newHealthFog(engine *sim.Engine, ho HealthOptions, loss func(time.Duration) float64) (*core.Fog, *health.Monitor, error) {
+	cc := w.Cfg.Core
+	if w.Cfg.Obs != nil {
+		cc.Obs = obs.AssignStatsIn(w.Cfg.Obs)
+	}
+	hs := healthStatsFor(w)
+	if ho.Overload || ho.Breaker {
+		cc.Health = hs
+		cc.Now = engine.Now
+	}
+	if ho.Overload {
+		ol, err := health.NewOverload(health.OverloadConfig{}, hs, engine.Now)
+		if err != nil {
+			return nil, nil, err
+		}
+		cc.Overload = ol
+	}
+	if ho.Breaker {
+		br, err := health.NewBreaker(health.BreakerConfig{}, hs)
+		if err != nil {
+			return nil, nil, err
+		}
+		cc.Breaker = br
+	}
+	fog, err := core.BuildFog(cc, w.Datacenters(w.Cfg.Datacenters), w.SupernodeSet(w.Cfg.Supernodes),
+		sim.NewRand(w.Cfg.Seed+200))
+	if err != nil {
+		return nil, nil, err
+	}
+	var mon *health.Monitor
+	if ho.Detector != health.ModeOracle {
+		dc := ho.DetectorConfig
+		dc.Mode = ho.Detector
+		mon = health.NewMonitor(engine, dc, loss, hs)
+	}
+	return fog, mon, nil
+}
 
 // DefaultChaosProfile is the built-in resilience scenario the figures (and
 // the -faults-less chaos runs) use: half the supernodes crash and recover on
@@ -76,15 +152,23 @@ func faultStatsFor(w *World) *obs.FaultStats {
 // supernodes, and the fraction caught unserved between a kill and its
 // detected repair. Rate 0 is the fault-free baseline point. Each rate is an
 // independent sweep point, deterministic in (seed, rate) alone, so serial
-// and parallel sweeps agree bitwise.
-func QoEVsChurn(w *World, rates []float64, duration time.Duration) ([]metrics.Series, error) {
+// and parallel sweeps agree bitwise. A zero ho keeps the run bit-identical
+// to the pre-health figure.
+func QoEVsChurn(w *World, rates []float64, duration time.Duration, ho HealthOptions) ([]metrics.Series, error) {
 	coverage := metrics.Series{Label: "coverage", Points: make([]metrics.Point, len(rates))}
 	fogServed := metrics.Series{Label: "fog-served", Points: make([]metrics.Point, len(rates))}
 	unserved := metrics.Series{Label: "unserved", Points: make([]metrics.Point, len(rates))}
 	err := w.sweepPoints(len(rates), func(pw *World, i int) error {
 		rate := rates[i]
 		engine := sim.New()
-		fog, err := pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes)
+		var fog *core.Fog
+		var mon *health.Monitor
+		var err error
+		if ho.enabled() {
+			fog, mon, err = pw.newHealthFog(engine, ho, nil)
+		} else {
+			fog, err = pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes)
+		}
 		if err != nil {
 			return err
 		}
@@ -98,12 +182,25 @@ func QoEVsChurn(w *World, rates []float64, duration time.Duration) ([]metrics.Se
 			}
 			inj = fault.NewInjector(sched, engine, fog, fault.SimHooks{Respawn: pw.Respawner()},
 				sim.NewRand(pw.Cfg.Seed+602), faultStatsFor(pw))
+			if mon != nil {
+				inj.SetMonitor(mon)
+			}
 			inj.Start()
+		} else if mon != nil {
+			// Fault-free point: the monitor still runs, so its heartbeat
+			// traffic and zero-false-positive behaviour are measured.
+			for _, sn := range fog.Supernodes() {
+				mon.Track(sn.ID)
+			}
+			mon.Start()
 		}
 
 		var samples int
 		var covSum, fogSum, unsSum float64
 		engine.Every(15*time.Second, func() {
+			if ho.Overload {
+				fog.RelieveOverloaded()
+			}
 			served, fogN, uns := 0, 0, 0
 			within := 0
 			for _, p := range players {
@@ -150,7 +247,7 @@ func QoEVsChurn(w *World, rates []float64, duration time.Duration) ([]metrics.Se
 // schedule modulating the wire (loss bursts, latency spikes, bandwidth
 // collapse), so a chaos run exercises the full segment ledger; the summary
 // rides back in the figure title.
-func RecoveryTimeline(w *World, profile *fault.Profile, qoeHorizon time.Duration) ([]metrics.Series, string, error) {
+func RecoveryTimeline(w *World, profile *fault.Profile, qoeHorizon time.Duration, ho HealthOptions) ([]metrics.Series, string, error) {
 	var series []metrics.Series
 	var title string
 	err := w.sweepPoints(1, func(pw *World, _ int) error {
@@ -159,7 +256,15 @@ func RecoveryTimeline(w *World, profile *fault.Profile, qoeHorizon time.Duration
 			return err
 		}
 		engine := sim.New()
-		fog, err := pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes)
+		var fog *core.Fog
+		var mon *health.Monitor
+		if ho.enabled() {
+			// Heartbeat frames ride the same impaired wire as video: the
+			// schedule's loss windows drop them too.
+			fog, mon, err = pw.newHealthFog(engine, ho, sched.LossFrac)
+		} else {
+			fog, err = pw.NewFog(pw.Cfg.Datacenters, pw.Cfg.Supernodes)
+		}
 		if err != nil {
 			return err
 		}
@@ -167,6 +272,9 @@ func RecoveryTimeline(w *World, profile *fault.Profile, qoeHorizon time.Duration
 
 		inj := fault.NewInjector(sched, engine, fog, fault.SimHooks{Respawn: pw.Respawner()},
 			sim.NewRand(pw.Cfg.Seed+603), faultStatsFor(pw))
+		if mon != nil {
+			inj.SetMonitor(mon)
+		}
 		inj.Start()
 
 		duration := profile.Duration.Duration
@@ -177,6 +285,9 @@ func RecoveryTimeline(w *World, profile *fault.Profile, qoeHorizon time.Duration
 		served := metrics.Series{Label: "served"}
 		fogServed := metrics.Series{Label: "fog-served"}
 		engine.Every(step, func() {
+			if ho.Overload {
+				fog.RelieveOverloaded()
+			}
 			s, fn := 0, 0
 			for _, p := range players {
 				if !p.Attached.Served() {
@@ -201,13 +312,18 @@ func RecoveryTimeline(w *World, profile *fault.Profile, qoeHorizon time.Duration
 		qopts := qoe.DefaultOptions()
 		qopts.Seed = pw.Cfg.Seed + 604
 		qopts.Impair = sched
-		sum, err := groupRun(pw, players, qopts, qoeHorizon)
+		sum, err := groupRun(pw, fog, players, qopts, qoeHorizon)
 		if err != nil {
 			return err
 		}
 		title = fmt.Sprintf(
 			"Recovery timeline (%s): %d kills, %d orphans, post-chaos continuity %.3f",
 			profile.Name, inj.Killed(), inj.Orphaned(), sum.MeanContinuity)
+		if mon != nil {
+			title += fmt.Sprintf(" — %s detector: %d/%d detected (mean %.2fs), %d false positives",
+				ho.Detector, inj.Detected(), inj.Killed(),
+				inj.MeanDetectionLatency().Seconds(), inj.FalsePositives())
+		}
 		series = []metrics.Series{served, fogServed}
 		pw.LeaveAll(fog, players)
 		return nil

@@ -30,7 +30,7 @@ func testChaosProfile(seed int64) *fault.Profile {
 func TestQoEVsChurnShape(t *testing.T) {
 	w := testWorld(t)
 	rates := []float64{0, 6}
-	series, err := QoEVsChurn(w, rates, 3*time.Minute)
+	series, err := QoEVsChurn(w, rates, 3*time.Minute, HealthOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestQoEVsChurnShape(t *testing.T) {
 func TestRecoveryTimelineShape(t *testing.T) {
 	w := testWorld(t)
 	profile := testChaosProfile(w.Cfg.Seed + 600)
-	series, title, err := RecoveryTimeline(w, profile, 2*time.Second)
+	series, title, err := RecoveryTimeline(w, profile, 2*time.Second, HealthOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +118,11 @@ func TestResilienceSerialMatchesParallel(t *testing.T) {
 	}
 
 	t.Run("QoEVsChurn", func(t *testing.T) {
-		got, err := QoEVsChurn(ws, []float64{0, 2, 6}, 2*time.Minute)
+		got, err := QoEVsChurn(ws, []float64{0, 2, 6}, 2*time.Minute, HealthOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := QoEVsChurn(wp, []float64{0, 2, 6}, 2*time.Minute)
+		want, err := QoEVsChurn(wp, []float64{0, 2, 6}, 2*time.Minute, HealthOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +131,11 @@ func TestResilienceSerialMatchesParallel(t *testing.T) {
 		}
 	})
 	t.Run("RecoveryTimeline", func(t *testing.T) {
-		got, gotTitle, err := RecoveryTimeline(ws, profile, 2*time.Second)
+		got, gotTitle, err := RecoveryTimeline(ws, profile, 2*time.Second, HealthOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, wantTitle, err := RecoveryTimeline(wp, profile, 2*time.Second)
+		want, wantTitle, err := RecoveryTimeline(wp, profile, 2*time.Second, HealthOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,11 +147,11 @@ func TestResilienceSerialMatchesParallel(t *testing.T) {
 		}
 	})
 	t.Run("RepeatRunsBitIdentical", func(t *testing.T) {
-		a, aTitle, err := RecoveryTimeline(ws, profile, 2*time.Second)
+		a, aTitle, err := RecoveryTimeline(ws, profile, 2*time.Second, HealthOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, bTitle, err := RecoveryTimeline(ws, profile, 2*time.Second)
+		b, bTitle, err := RecoveryTimeline(ws, profile, 2*time.Second, HealthOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

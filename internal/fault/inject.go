@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cloudfog/internal/core"
+	"cloudfog/internal/health"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/trace"
@@ -67,6 +68,23 @@ type Injector struct {
 	joins     int64
 	windows   int64
 	finished  bool
+
+	// mon, when non-nil, replaces the oracle detection-delay draw: orphans
+	// wait in pendingDetect until the heartbeat monitor actually notices
+	// the node's silence. Oracle mode (mon == nil) is bit-identical to
+	// PR 4.
+	mon           *health.Monitor
+	pendingDetect map[int64][]pendingRepair
+	// Oracle-mode detection tallies, for the figdetect comparison: the
+	// uniform draws are the oracle's "detection latency".
+	oracleDelaySum time.Duration
+	oracleDelays   int64
+}
+
+// pendingRepair is one orphan awaiting its node's failure detection.
+type pendingRepair struct {
+	p      *core.Player
+	killAt time.Duration
 }
 
 // NewInjector binds a schedule to an engine and fog. rng seeds the
@@ -83,9 +101,25 @@ func NewInjector(sched *Schedule, engine *sim.Engine, fog *core.Fog, hooks SimHo
 	}
 }
 
-// Start schedules every compiled event on the engine. Call once, before
-// running the engine.
+// SetMonitor replaces the oracle detection-delay draw with a heartbeat
+// monitor: orphans of a killed supernode are repaired when the monitor
+// detects the silence, not after a drawn delay. Call before Start.
+func (in *Injector) SetMonitor(mon *health.Monitor) {
+	in.mon = mon
+	in.pendingDetect = make(map[int64][]pendingRepair)
+	mon.OnDetect(in.onDetect)
+}
+
+// Start schedules every compiled event on the engine and, in monitor mode,
+// starts heartbeat tracking for every currently-registered supernode. Call
+// once, before running the engine.
 func (in *Injector) Start() {
+	if in.mon != nil {
+		for _, sn := range in.fog.Supernodes() {
+			in.mon.Track(sn.ID)
+		}
+		in.mon.Start()
+	}
 	for i := range in.sched.Events {
 		ev := in.sched.Events[i]
 		in.engine.ScheduleAt(ev.At, func() { in.apply(ev) })
@@ -161,13 +195,41 @@ func (in *Injector) kill(ev Event) {
 			in.repair(p, killAt)
 			continue
 		}
+		if in.mon != nil {
+			// Monitor mode: the orphan waits until the heartbeat monitor
+			// actually notices the node's silence. If recovery or the
+			// horizon preempts detection, the orphan counts as PendingEnd,
+			// same as an unfired oracle repair.
+			in.repairs++
+			in.pendingDetect[ev.Node] = append(in.pendingDetect[ev.Node], pendingRepair{p, killAt})
+			continue
+		}
 		delay := in.rng.UniformDuration(0, ev.D)
+		in.oracleDelaySum += delay
+		in.oracleDelays++
 		in.repairs++
 		p := p
 		in.engine.Schedule(delay, func() {
 			in.repairs--
 			in.repair(p, killAt)
 		})
+	}
+	if in.mon != nil {
+		in.mon.Kill(ev.Node)
+	}
+}
+
+// onDetect fires when the heartbeat monitor detects a node's failure: every
+// orphan stashed for that node repairs now, in kill (hence player-ID) order.
+func (in *Injector) onDetect(id int64, now time.Duration) {
+	pend := in.pendingDetect[id]
+	if len(pend) == 0 {
+		return
+	}
+	delete(in.pendingDetect, id)
+	for _, pr := range pend {
+		in.repairs--
+		in.repair(pr.p, pr.killAt)
 	}
 }
 
@@ -197,6 +259,9 @@ func (in *Injector) recover(id int64) {
 	if err := in.fog.RegisterSupernode(sn); err != nil {
 		return
 	}
+	if in.mon != nil {
+		in.mon.Recover(id)
+	}
 	in.recovered++
 	in.emit(obs.EventFaultRecover, id, 0)
 	if in.stats != nil {
@@ -214,6 +279,12 @@ func (in *Injector) Finish() {
 		return
 	}
 	in.finished = true
+	if in.mon != nil {
+		if hs := in.mon.Stats(); hs != nil {
+			hs.KillsObserved.Add(in.killed)
+			hs.DetectPending.Add(in.DetectPending())
+		}
+	}
 	if in.stats == nil {
 		return
 	}
@@ -240,6 +311,50 @@ func (in *Injector) Lapsed() int64 { return in.lapsed }
 
 // PendingEnd returns how many orphan repairs are still scheduled.
 func (in *Injector) PendingEnd() int64 { return in.repairs }
+
+// Detected returns how many kills the failure detector noticed: heartbeat
+// detections in monitor mode, or every kill in oracle mode (the oracle knows
+// by construction).
+func (in *Injector) Detected() int64 {
+	if in.mon != nil {
+		return in.mon.Detected()
+	}
+	return in.killed
+}
+
+// DetectPending returns how many kills were still undetected at the horizon
+// (a node recovered before its silence crossed the threshold, or the run
+// ended first). Always zero in oracle mode. The detection ledger identity is
+//
+//	Detected + DetectPending == Killed.
+func (in *Injector) DetectPending() int64 {
+	if in.mon == nil {
+		return 0
+	}
+	return in.killed - in.mon.Detected()
+}
+
+// FalsePositives returns how many live supernodes the detector wrongly
+// suspected (zero in oracle mode).
+func (in *Injector) FalsePositives() int64 {
+	if in.mon == nil {
+		return 0
+	}
+	return in.mon.FalsePositives()
+}
+
+// MeanDetectionLatency returns the mean failure-detection latency: the
+// monitor's measured kill-to-detection time, or the mean of the oracle's
+// drawn delays. Zero when nothing was detected.
+func (in *Injector) MeanDetectionLatency() time.Duration {
+	if in.mon != nil {
+		return in.mon.MeanDetectionLatency()
+	}
+	if in.oracleDelays == 0 {
+		return 0
+	}
+	return in.oracleDelaySum / time.Duration(in.oracleDelays)
+}
 
 // Downtime reports how long the supernode has been down at now, and whether
 // it is down at all.

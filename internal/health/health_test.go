@@ -1,0 +1,232 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"", ModeOracle, true},
+		{"oracle", ModeOracle, true},
+		{"timeout", ModeTimeout, true},
+		{"phi", ModePhi, true},
+		{"bogus", ModeOracle, false},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// beat feeds n regular heartbeats at the given interval and returns the last
+// arrival time.
+func beat(d *Detector, n int, interval time.Duration) time.Duration {
+	var now time.Duration
+	for i := 0; i < n; i++ {
+		now = time.Duration(i) * interval
+		d.Heartbeat(now)
+	}
+	return now
+}
+
+// firstSuspectAfter scans forward from last in small steps and returns the
+// silence at which the detector first suspects.
+func firstSuspectAfter(d *Detector, last time.Duration) time.Duration {
+	const step = 10 * time.Millisecond
+	for s := step; s <= 20*time.Second; s += step {
+		if d.Suspect(last + s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// TestDetectorTimeoutThreshold: the timeout detector fires once the silence
+// reaches TimeoutFactor heartbeat intervals, and not a moment before.
+func TestDetectorTimeoutThreshold(t *testing.T) {
+	d := NewDetector(DetectorConfig{Mode: ModeTimeout, Interval: time.Second})
+	last := beat(d, 10, time.Second)
+	if d.Suspect(last + 3400*time.Millisecond) {
+		t.Fatal("timeout detector suspected before 3.5 intervals of silence")
+	}
+	if !d.Suspect(last + 3500*time.Millisecond) {
+		t.Fatal("timeout detector did not suspect at 3.5 intervals of silence")
+	}
+}
+
+// TestDetectorPhiBeatsTimeout: with the same heartbeat history, phi-accrual
+// must suspect strictly earlier than the plain timeout, while still tolerating
+// the 2-interval silence a single lost heartbeat causes (the zero-false-
+// positive property under the chaos profiles' loss accumulator).
+func TestDetectorPhiBeatsTimeout(t *testing.T) {
+	phi := NewDetector(DetectorConfig{Mode: ModePhi, Interval: time.Second})
+	to := NewDetector(DetectorConfig{Mode: ModeTimeout, Interval: time.Second})
+	lastPhi := beat(phi, 10, time.Second)
+	lastTo := beat(to, 10, time.Second)
+
+	if phi.Suspect(lastPhi + 2*time.Second) {
+		t.Fatal("phi detector suspected a single lost heartbeat (2-interval silence)")
+	}
+	phiAt := firstSuspectAfter(phi, lastPhi)
+	toAt := firstSuspectAfter(to, lastTo)
+	if phiAt <= 0 || toAt <= 0 {
+		t.Fatalf("a detector never fired: phi=%v timeout=%v", phiAt, toAt)
+	}
+	if phiAt >= toAt {
+		t.Fatalf("phi detection latency %v is not strictly below timeout's %v", phiAt, toAt)
+	}
+}
+
+// TestDetectorMaxSilenceCap: even when lossy history has inflated the
+// adaptive estimate far past the send interval, the hard MaxSilence cap
+// fires — this is what makes DetectorConfig.Bound provable.
+func TestDetectorMaxSilenceCap(t *testing.T) {
+	cfg := DetectorConfig{Mode: ModePhi, Interval: time.Second}.Defaulted()
+	d := NewDetector(cfg)
+	// Every gap observed was 5 s (heavy loss): the phi estimate alone would
+	// tolerate silences far beyond 6 s.
+	last := beat(d, 10, 5*time.Second)
+	if got := firstSuspectAfter(d, last); got <= 0 || got > cfg.MaxSilence {
+		t.Fatalf("suspicion at silence %v, want within the MaxSilence cap %v", got, cfg.MaxSilence)
+	}
+	if cfg.Bound() != cfg.MaxSilence+cfg.CheckEvery {
+		t.Fatalf("Bound() = %v, want MaxSilence+CheckEvery = %v", cfg.Bound(), cfg.MaxSilence+cfg.CheckEvery)
+	}
+}
+
+// TestOverloadLadderHysteresis walks one node up and down the ladder and
+// checks every gate plus the no-flapping property around a threshold.
+func TestOverloadLadderHysteresis(t *testing.T) {
+	o, err := NewOverload(OverloadConfig{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id, cap = 1, 100
+
+	if s := o.Observe(id, 69, cap); s != StateNormal {
+		t.Fatalf("occupancy 0.69 -> %v, want normal", s)
+	}
+	if s := o.Observe(id, 70, cap); s != StateDegraded {
+		t.Fatalf("occupancy 0.70 -> %v, want degraded", s)
+	}
+	// Oscillating just below the entry threshold must NOT drop the state:
+	// exit needs occupancy under enterAt - Hysteresis = 0.55.
+	for i := 0; i < 10; i++ {
+		o.Observe(id, 69, cap)
+		o.Observe(id, 70, cap)
+	}
+	if s := o.State(id); s != StateDegraded {
+		t.Fatalf("state flapped to %v while oscillating around the threshold", s)
+	}
+	if s := o.Observe(id, 56, cap); s != StateDegraded {
+		t.Fatalf("occupancy 0.56 -> %v, want still degraded (hysteresis)", s)
+	}
+	if s := o.Observe(id, 54, cap); s != StateNormal {
+		t.Fatalf("occupancy 0.54 -> %v, want normal again", s)
+	}
+
+	// The gates, rung by rung.
+	o.Observe(id, 85, cap)
+	if o.AllowBackup(id) {
+		t.Fatal("shedding node still advertised as a backup")
+	}
+	if !o.Admit(id) {
+		t.Fatal("shedding node refused a join (that is Rejecting's job)")
+	}
+	o.Observe(id, 95, cap)
+	if o.Admit(id) {
+		t.Fatal("rejecting node admitted a join")
+	}
+	if o.ShouldMigrate(id) {
+		t.Fatal("rejecting node asked for migration (that is Migrating's job)")
+	}
+	o.Observe(id, 100, cap)
+	if !o.ShouldMigrate(id) {
+		t.Fatal("fully loaded node did not ask for migration")
+	}
+	if got := o.LevelCap(id, 5); got != 5-int(StateMigrating) {
+		t.Fatalf("LevelCap at migrating = %d, want startLevel-4", got)
+	}
+	if got := o.LevelCap(id, 2); got != 1 {
+		t.Fatalf("LevelCap floors at 1, got %d", got)
+	}
+
+	o.Forget(id)
+	if s := o.State(id); s != StateNormal {
+		t.Fatalf("forgotten node reports %v, want normal", s)
+	}
+}
+
+// TestBreakerOneProbePerHalfOpenWindow is the acceptance criterion: after the
+// breaker opens, each half-open window admits exactly one failover probe, and
+// a failed probe re-opens the window clock.
+func TestBreakerOneProbePerHalfOpenWindow(t *testing.T) {
+	b, err := NewBreaker(BreakerConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBreakerConfig()
+	now := time.Duration(0)
+
+	// Three consecutive failures trip it.
+	for i := 0; i < cfg.FailureThreshold; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.RecordFailure(now)
+	}
+	if b.State(now) != BreakerOpen {
+		t.Fatalf("state = %v after %d failures, want open", b.State(now), cfg.FailureThreshold)
+	}
+	if b.Allow(now + cfg.OpenFor/2) {
+		t.Fatal("open breaker admitted a request before the probe window")
+	}
+
+	// First half-open window: exactly one probe.
+	now += cfg.OpenFor
+	if !b.Allow(now) {
+		t.Fatal("half-open breaker refused its first probe")
+	}
+	for i := 0; i < 5; i++ {
+		if b.Allow(now) {
+			t.Fatal("half-open breaker admitted a second probe in the same window")
+		}
+	}
+	// The probe fails: open again, clock restarted at now.
+	b.RecordFailure(now)
+	if b.Allow(now + cfg.OpenFor - time.Millisecond) {
+		t.Fatal("breaker admitted a request before the restarted window elapsed")
+	}
+
+	// Second window: the probe succeeds and the breaker closes.
+	now += cfg.OpenFor
+	if !b.Allow(now) {
+		t.Fatal("half-open breaker refused its probe in the second window")
+	}
+	b.RecordSuccess(now)
+	if b.State(now) != BreakerClosed {
+		t.Fatalf("state = %v after a successful probe, want closed", b.State(now))
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow(now) {
+			t.Fatal("closed breaker refused a request after recovery")
+		}
+		b.RecordSuccess(now)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewOverload(OverloadConfig{DegradeAt: 0.9, ShedAt: 0.8, RejectAt: 0.95, MigrateAt: 1, Hysteresis: 0.1}, nil, nil); err == nil {
+		t.Fatal("unordered overload thresholds validated")
+	}
+	if _, err := NewBreaker(BreakerConfig{FailureThreshold: 0, OpenFor: time.Second, HalfOpenProbes: 1, SuccessThreshold: 1}, nil); err == nil {
+		t.Fatal("zero FailureThreshold validated")
+	}
+}

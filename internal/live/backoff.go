@@ -20,7 +20,9 @@ const (
 
 // dialBackoff dials addr with capped exponential backoff until the context
 // expires. The jitter sequence is a pure function of (id, addr, attempt), so
-// a retrying fleet is reproducible and spread out at the same time.
+// a retrying fleet is reproducible and spread out at the same time. A context
+// canceled mid-sleep aborts immediately, and the single reused timer never
+// leaks the way a per-attempt time.After channel would.
 func dialBackoff(ctx context.Context, addr string, id int64) (net.Conn, error) {
 	var d net.Dialer
 	h := uint64(id)*2654435761 + 0x9e3779b97f4a7c15
@@ -29,7 +31,15 @@ func dialBackoff(ctx context.Context, addr string, id int64) (net.Conn, error) {
 	}
 	backoff := dialBackoffBase
 	var lastErr error
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("live: dial %s: %w (last attempt: %v)", addr, err, lastErr)
+		}
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return conn, nil
@@ -37,10 +47,14 @@ func dialBackoff(ctx context.Context, addr string, id int64) (net.Conn, error) {
 		lastErr = err
 		h = h*6364136223846793005 + 1442695040888963407
 		jitter := time.Duration(h % uint64(backoff/2+1))
+		timer.Reset(backoff + jitter)
 		select {
 		case <-ctx.Done():
+			if !timer.Stop() {
+				<-timer.C
+			}
 			return nil, fmt.Errorf("live: dial %s: %w (last attempt: %v)", addr, ctx.Err(), lastErr)
-		case <-time.After(backoff + jitter):
+		case <-timer.C:
 		}
 		backoff *= 2
 		if backoff > dialBackoffMax {

@@ -3,9 +3,11 @@ package live
 import (
 	"context"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
+	"cloudfog/internal/health"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/proto"
 	"cloudfog/internal/world"
@@ -126,6 +128,153 @@ func TestDialBackoffHonorsDeadline(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 3*time.Second {
 		t.Fatalf("dialBackoff took %v to give up on a 300ms deadline", elapsed)
+	}
+}
+
+// TestDialBackoffCancelMidSleep: a context canceled while the dialer is
+// asleep between attempts must abort the sleep immediately instead of
+// finishing the backoff first.
+func TestDialBackoffCancelMidSleep(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAfter = 1200 * time.Millisecond
+	time.AfterFunc(cancelAfter, cancel)
+	start := time.Now()
+	if _, err := dialBackoff(ctx, addr, 9); err == nil {
+		t.Fatal("dialBackoff succeeded against a dead address")
+	}
+	// By 1.2s the backoff has grown to ~800ms sleeps; without the mid-sleep
+	// abort the return would trail the cancel by most of a sleep.
+	if elapsed := time.Since(start); elapsed > cancelAfter+300*time.Millisecond {
+		t.Fatalf("dialBackoff returned %v after a cancel at %v — slept through the cancel", elapsed, cancelAfter)
+	}
+}
+
+// TestPlayerCloudFallbackAllBackupsDown kills the serving supernode AND every
+// backup: the player must land on the cloud's direct stream, keep receiving
+// segments, and its error list must name the dead supernodes it tried.
+func TestPlayerCloudFallbackAllBackupsDown(t *testing.T) {
+	cloud, err := StartCloud(CloudConfig{
+		Addr:      "127.0.0.1:0",
+		World:     world.DefaultConfig(),
+		Tick:      33 * time.Millisecond,
+		DirectFPS: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	sn1, err := StartSupernode(SupernodeConfig{ID: 1, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0", FPS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn2, err := StartSupernode(SupernodeConfig{ID: 2, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0", FPS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn1Addr, sn2Addr := sn1.Addr(), sn2.Addr()
+
+	type result struct {
+		report PlayerReport
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		report, err := RunPlayer(PlayerConfig{
+			ID:          1,
+			GameID:      4,
+			CloudAddr:   cloud.Addr(),
+			StreamAddr:  sn1Addr,
+			BackupAddrs: []string{sn2Addr},
+			ActionEvery: 100 * time.Millisecond,
+			ViewRadius:  DefaultViewRadius,
+		}, 6*time.Second)
+		resCh <- result{report, err}
+	}()
+
+	time.Sleep(600 * time.Millisecond)
+	sn1.Close()
+	sn2.Close() // the whole ring is gone — only the cloud is left
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if !res.report.CloudFallback {
+		t.Fatalf("player did not fall back to the cloud; errors: %v", res.report.FailoverErrors)
+	}
+	if res.report.Segments < 30 {
+		t.Fatalf("player received only %d segments — the cloud fallback stream never flowed", res.report.Segments)
+	}
+	mentioned := map[string]bool{}
+	for _, e := range res.report.FailoverErrors {
+		for _, addr := range []string{sn1Addr, sn2Addr} {
+			if strings.Contains(e, addr) {
+				mentioned[addr] = true
+			}
+		}
+	}
+	if !mentioned[sn1Addr] || !mentioned[sn2Addr] {
+		t.Fatalf("FailoverErrors %v does not name both dead supernodes %s and %s",
+			res.report.FailoverErrors, sn1Addr, sn2Addr)
+	}
+}
+
+// TestCloudDetectsSupernodeSilence runs a real heartbeat detector over the
+// TCP link: while the supernode beats, no suspicion; once it dies, the
+// cloud's detector flags it from the silence alone.
+func TestCloudDetectsSupernodeSilence(t *testing.T) {
+	cloud, err := StartCloud(CloudConfig{
+		Addr:  "127.0.0.1:0",
+		World: world.DefaultConfig(),
+		Tick:  20 * time.Millisecond,
+		Detector: health.DetectorConfig{
+			Mode:     health.ModeTimeout,
+			Interval: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	sn, err := StartSupernode(SupernodeConfig{
+		ID: 7, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0",
+		FPS: 30, HeartbeatEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alive and beating: no suspicion accrues.
+	time.Sleep(600 * time.Millisecond)
+	if dets, fps := cloud.FailureDetections(); dets != 0 || fps != 0 {
+		t.Fatalf("detections=%d falsePositives=%d while the supernode was beating", dets, fps)
+	}
+	if cloud.HeartbeatsReceived() == 0 {
+		t.Fatal("cloud received no heartbeats from a live supernode")
+	}
+
+	sn.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if ids := cloud.DetectedFailures(); len(ids) == 1 && ids[0] == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cloud never detected the dead supernode; suspected=%v", cloud.DetectedFailures())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, fps := cloud.FailureDetections(); fps != 0 {
+		t.Fatalf("detector logged %d false positives on a clean link", fps)
 	}
 }
 

@@ -3,9 +3,12 @@ package live
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
+	"cloudfog/internal/game"
+	"cloudfog/internal/health"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/proto"
 	"cloudfog/internal/world"
@@ -23,6 +26,16 @@ type CloudConfig struct {
 	// DelayFor, when non-nil, returns the one-way delay the cloud injects
 	// toward a subscribing supernode (keyed by the supernode's hello ID).
 	DelayFor func(snID int64) time.Duration
+	// Detector, when Mode != health.ModeOracle, runs heartbeat failure
+	// detection over supernode subscriptions: supernodes send THeartbeat
+	// frames and the cloud times the gaps. Detector state survives a
+	// dropped connection, so a vanished supernode is detected by its
+	// silence rather than forgotten. Zero fields use the health defaults.
+	Detector health.DetectorConfig
+	// DirectFPS, when positive, lets the cloud stream segments directly to
+	// players that connect with a TJoinStream first frame — the last-resort
+	// fallback when no supernode will serve them. Zero disables it.
+	DirectFPS int
 	// Obs, when non-nil, registers per-supernode update-link metrics
 	// (cloudfog_link_*{link="cloud_to_sn<ID>"}).
 	Obs *obs.Registry
@@ -35,6 +48,8 @@ func (c CloudConfig) Validate() error {
 		return fmt.Errorf("live: CloudConfig.Addr is empty (use \"127.0.0.1:0\" for an ephemeral port)")
 	case c.Tick <= 0:
 		return fmt.Errorf("live: CloudConfig.Tick %v is not positive", c.Tick)
+	case c.DirectFPS < 0:
+		return fmt.Errorf("live: CloudConfig.DirectFPS %d is negative", c.DirectFPS)
 	}
 	return nil
 }
@@ -47,13 +62,26 @@ type Cloud struct {
 	cfg CloudConfig
 
 	ln net.Listener
+	// start anchors the wall-clock offsets fed to the failure detectors;
+	// immutable after StartCloud.
+	start time.Time
 
 	mu      sync.Mutex
 	w       *world.World
 	pending []world.Action
 	stamps  map[int64]time.Duration // freshest Issued per player, not yet shipped
-	subs    map[int64]*cloudSub
-	closed  bool
+	// lastStamp keeps the freshest Issued per player across ticks for the
+	// direct-stream fallback to echo.
+	lastStamp map[int64]time.Duration
+	subs      map[int64]*cloudSub
+	// dets holds per-supernode failure detectors; entries survive dropped
+	// connections so silence keeps accruing after a crash.
+	dets       map[int64]*snHealth
+	directs    map[*Link]struct{} // live direct player streams
+	hbRecv     int64
+	detections int64
+	falsePos   int64
+	closed     bool
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -62,6 +90,12 @@ type Cloud struct {
 type cloudSub struct {
 	link    *Link
 	version uint64
+}
+
+// snHealth is one supernode's cloud-side liveness state.
+type snHealth struct {
+	det       *health.Detector
+	suspected bool
 }
 
 // StartCloud launches the cloud server described by cfg.
@@ -74,12 +108,16 @@ func StartCloud(cfg CloudConfig) (*Cloud, error) {
 		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
 	}
 	c := &Cloud{
-		cfg:    cfg,
-		ln:     ln,
-		w:      world.New(cfg.World),
-		stamps: make(map[int64]time.Duration),
-		subs:   make(map[int64]*cloudSub),
-		stop:   make(chan struct{}),
+		cfg:       cfg,
+		ln:        ln,
+		start:     time.Now(),
+		w:         world.New(cfg.World),
+		stamps:    make(map[int64]time.Duration),
+		lastStamp: make(map[int64]time.Duration),
+		subs:      make(map[int64]*cloudSub),
+		dets:      make(map[int64]*snHealth),
+		directs:   make(map[*Link]struct{}),
+		stop:      make(chan struct{}),
 	}
 	c.wg.Add(2)
 	go c.accept()
@@ -113,20 +151,27 @@ func (c *Cloud) accept() {
 func (c *Cloud) serveConn(conn net.Conn) {
 	defer c.wg.Done()
 	typ, payload, err := proto.ReadFrame(conn)
-	if err != nil || typ != proto.THello {
-		conn.Close()
-		return
-	}
-	hello, err := proto.UnmarshalHello(payload)
 	if err != nil {
 		conn.Close()
 		return
 	}
-	switch hello.Role {
-	case proto.RolePlayerActions:
-		c.servePlayer(conn, hello.ID)
-	case proto.RoleSupernode:
-		c.serveSupernode(conn, hello.ID)
+	switch typ {
+	case proto.THello:
+		hello, err := proto.UnmarshalHello(payload)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		switch hello.Role {
+		case proto.RolePlayerActions:
+			c.servePlayer(conn, hello.ID)
+		case proto.RoleSupernode:
+			c.serveSupernode(conn, hello.ID)
+		default:
+			conn.Close()
+		}
+	case proto.TJoinStream:
+		c.serveDirectStream(conn, payload)
 	default:
 		conn.Close()
 	}
@@ -166,6 +211,9 @@ func (c *Cloud) servePlayer(conn net.Conn, playerID int64) {
 		if a.Issued > c.stamps[playerID] {
 			c.stamps[playerID] = a.Issued
 		}
+		if a.Issued > c.lastStamp[playerID] {
+			c.lastStamp[playerID] = a.Issued
+		}
 		c.mu.Unlock()
 	}
 }
@@ -192,14 +240,42 @@ func (c *Cloud) serveSupernode(conn net.Conn, snID int64) {
 	// A new subscription starts from a snapshot.
 	link.Send(proto.TDelta, proto.MarshalDelta(c.w.Snapshot()))
 	c.subs[snID] = &cloudSub{link: link, version: c.w.Version()}
+	var hd *snHealth
+	if c.cfg.Detector.Mode != health.ModeOracle {
+		hd = c.dets[snID]
+		if hd == nil {
+			hd = &snHealth{det: health.NewDetector(c.cfg.Detector)}
+			c.dets[snID] = hd
+		}
+		// A (re)subscribing supernode is a fresh instance: re-base its
+		// silence clock and clear any standing suspicion.
+		hd.det.Reset(time.Since(c.start))
+		hd.suspected = false
+	}
 	c.mu.Unlock()
 
-	// Block until the peer goes away.
-	var buf [1]byte
+	// Consume the peer's frames (heartbeats) until it goes away. Its
+	// detector entry survives the disconnect: silence keeps accruing.
 	for {
-		if _, err := conn.Read(buf[:]); err != nil {
+		typ, payload, err := link.Recv()
+		if err != nil {
 			break
 		}
+		if typ != proto.THeartbeat || hd == nil {
+			continue
+		}
+		hb, err := proto.UnmarshalHeartbeat(payload)
+		if err != nil || hb.ID != snID {
+			continue
+		}
+		c.mu.Lock()
+		c.hbRecv++
+		hd.det.Heartbeat(time.Since(c.start))
+		if hd.suspected {
+			hd.suspected = false
+			c.falsePos++
+		}
+		c.mu.Unlock()
 	}
 	c.mu.Lock()
 	if sub, ok := c.subs[snID]; ok && sub.link == link {
@@ -207,6 +283,109 @@ func (c *Cloud) serveSupernode(conn net.Conn, snID int64) {
 	}
 	c.mu.Unlock()
 	link.Close()
+}
+
+// serveDirectStream streams segments straight from the cloud to a player
+// whose first frame is a TJoinStream — the last-resort fallback when every
+// supernode in the player's ring is unreachable. The stream is a plain
+// fixed-rate encode of the requested game's ladder level (capped by the
+// join's LevelCap), stamped with the player's freshest action so response
+// latency still measures end to end.
+func (c *Cloud) serveDirectStream(conn net.Conn, payload []byte) {
+	if c.cfg.DirectFPS <= 0 {
+		conn.Close()
+		return
+	}
+	join, err := proto.UnmarshalJoinStream(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	g, err := game.ByID(int(join.GameID))
+	if err != nil {
+		conn.Close()
+		return
+	}
+	link := NewLinkObs(conn, 0, nil)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		link.Close()
+		return
+	}
+	c.directs[link] = struct{}{}
+	c.mu.Unlock()
+	link.Send(proto.TAck, proto.MarshalAck(proto.Ack{}))
+
+	level := g.StartLevel
+	if cap := int(join.LevelCap); cap > 0 && cap < level {
+		level = cap
+	}
+	lv, err := game.LevelAt(level)
+	if err != nil {
+		lv = g.Quality()
+	}
+	segBytes := int(lv.Bitrate) / c.cfg.DirectFPS / 8
+
+	ticker := time.NewTicker(time.Second / time.Duration(c.cfg.DirectFPS))
+	defer ticker.Stop()
+	var seq int64
+	for link.Err() == nil {
+		select {
+		case <-c.stop:
+			goto done
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		stamp := c.lastStamp[join.Player]
+		c.mu.Unlock()
+		seg := proto.Segment{
+			Player:       join.Player,
+			Seq:          seq,
+			Level:        uint8(level),
+			ActionIssued: stamp,
+			Payload:      renderPayload(segBytes, nil),
+		}
+		seq++
+		link.Send(proto.TSegment, proto.MarshalSegment(seg))
+	}
+done:
+	c.mu.Lock()
+	delete(c.directs, link)
+	c.mu.Unlock()
+	link.Close()
+}
+
+// HeartbeatsReceived returns how many supernode heartbeats the cloud's
+// detector has ingested.
+func (c *Cloud) HeartbeatsReceived() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hbRecv
+}
+
+// DetectedFailures returns the IDs of supernodes currently suspected dead,
+// sorted.
+func (c *Cloud) DetectedFailures() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []int64
+	for id, hd := range c.dets {
+		if hd.suspected {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// FailureDetections returns the cumulative detection and false-positive
+// counts (a false positive is a suspicion cleared by a later heartbeat on
+// the same connection).
+func (c *Cloud) FailureDetections() (detections, falsePositives int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.detections, c.falsePos
 }
 
 // loop ticks the world at the configured rate and fans deltas out.
@@ -227,6 +406,19 @@ func (c *Cloud) loop() {
 func (c *Cloud) tickOnce() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Evaluate the failure detectors before the world step: a supernode
+	// whose silence crossed the threshold is flagged exactly once until a
+	// fresh heartbeat (a false positive) or a re-subscribe clears it.
+	if len(c.dets) > 0 {
+		now := time.Since(c.start)
+		for _, hd := range c.dets {
+			if hd.suspected || !hd.det.Suspect(now) {
+				continue
+			}
+			hd.suspected = true
+			c.detections++
+		}
+	}
 	c.w.Apply(c.pending)
 	c.pending = c.pending[:0]
 	c.w.Step(c.cfg.Tick.Seconds())

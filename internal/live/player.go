@@ -81,10 +81,22 @@ type PlayerReport struct {
 	P95Response  time.Duration
 	// Failovers counts mid-run stream reattachments to a backup supernode.
 	Failovers int64
+	// CloudFallback reports that the player ended up streaming directly
+	// from the cloud after every supernode in its ring refused.
+	CloudFallback bool
+	// FailoverErrors records why each refused stream candidate failed, in
+	// attempt order ("addr: reason") — the audit trail of a degraded path.
+	FailoverErrors []string
 	// WithinBudget is the fraction of response samples inside the game's
 	// response-latency requirement.
 	WithinBudget float64
 }
+
+// failoverDialDeadline bounds each dial to a failover candidate: a dead
+// supernode should cost the player about a second, not the full patient
+// dialDeadline, so a ring of corpses still reaches the cloud fallback
+// quickly.
+const failoverDialDeadline = time.Second
 
 // RunPlayer drives one player for the given wall-clock duration: an action
 // connection to the cloud (move commands toward wandering targets) and a
@@ -127,8 +139,8 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		LevelCap: uint8(g.StartLevel),
 	}
 	addrs := append([]string{cfg.StreamAddr}, cfg.BackupAddrs...)
-	subscribe := func(addr string) (net.Conn, error) {
-		ctx, cancel := context.WithTimeout(context.Background(), dialDeadline)
+	subscribe := func(addr string, timeout time.Duration) (net.Conn, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		conn, err := dialBackoff(ctx, addr, cfg.ID)
 		cancel()
 		if err != nil {
@@ -145,20 +157,6 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		}
 		return conn, nil
 	}
-	addrIdx := 0
-	var strConn net.Conn
-	for i := range addrs {
-		conn, serr := subscribe(addrs[i])
-		if serr == nil {
-			strConn, addrIdx = conn, i
-			break
-		}
-		err = serr
-	}
-	if strConn == nil {
-		return PlayerReport{}, err
-	}
-	defer func() { strConn.Close() }()
 
 	var (
 		mu        sync.Mutex
@@ -167,6 +165,32 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		responses []time.Duration
 		lastSeen  time.Duration
 	)
+
+	addrIdx := 0
+	var strConn net.Conn
+	for i := range addrs {
+		conn, serr := subscribe(addrs[i], dialDeadline)
+		if serr == nil {
+			strConn, addrIdx = conn, i
+			break
+		}
+		report.FailoverErrors = append(report.FailoverErrors,
+			fmt.Sprintf("%s: %v", addrs[i], serr))
+		err = serr
+	}
+	if strConn == nil {
+		// Every supernode refused before the session even began: stream
+		// straight from the cloud as the last resort.
+		conn, cerr := subscribe(cfg.CloudAddr, dialDeadline)
+		if cerr != nil {
+			report.FailoverErrors = append(report.FailoverErrors,
+				fmt.Sprintf("%s (cloud): %v", cfg.CloudAddr, cerr))
+			return report, err
+		}
+		strConn = conn
+		report.CloudFallback = true
+	}
+	defer func() { strConn.Close() }()
 
 	// Action generator: wander between deterministic targets.
 	stopActions := make(chan struct{})
@@ -201,26 +225,48 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		}
 	}()
 
-	// Segment receiver. A mid-run stream death fails over to the next
-	// address in the backup ring; the session only ends early when every
-	// candidate refuses.
+	// Segment receiver. A mid-run stream death fails over through the
+	// backup ring with short per-candidate dials, then to the cloud's
+	// direct stream; the session only ends early when even the cloud
+	// refuses.
 	deadline := time.Now().Add(duration)
 	strConn.SetReadDeadline(deadline.Add(2 * time.Second))
 	for time.Now().Before(deadline) {
 		typ, payload, err := proto.ReadFrame(strConn)
 		if err != nil {
-			if !time.Now().Before(deadline) || len(addrs) == 1 {
+			if !time.Now().Before(deadline) {
 				break
 			}
 			strConn.Close()
 			var next net.Conn
+			fromCloud := false
 			for i := 1; i <= len(addrs) && next == nil; i++ {
 				if !time.Now().Before(deadline) {
 					break
 				}
-				next, _ = subscribe(addrs[(addrIdx+i)%len(addrs)])
-				if next != nil {
-					addrIdx = (addrIdx + i) % len(addrs)
+				cand := addrs[(addrIdx+i)%len(addrs)]
+				conn, serr := subscribe(cand, failoverDialDeadline)
+				if serr != nil {
+					mu.Lock()
+					report.FailoverErrors = append(report.FailoverErrors,
+						fmt.Sprintf("%s: %v", cand, serr))
+					mu.Unlock()
+					continue
+				}
+				next = conn
+				addrIdx = (addrIdx + i) % len(addrs)
+			}
+			if next == nil && time.Now().Before(deadline) {
+				// Whole ring down: stream straight from the cloud.
+				conn, cerr := subscribe(cfg.CloudAddr, dialDeadline)
+				if cerr != nil {
+					mu.Lock()
+					report.FailoverErrors = append(report.FailoverErrors,
+						fmt.Sprintf("%s (cloud): %v", cfg.CloudAddr, cerr))
+					mu.Unlock()
+				} else {
+					next = conn
+					fromCloud = true
 				}
 			}
 			if next == nil {
@@ -230,6 +276,9 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 			strConn.SetReadDeadline(deadline.Add(2 * time.Second))
 			mu.Lock()
 			report.Failovers++
+			if fromCloud {
+				report.CloudFallback = true
+			}
 			mu.Unlock()
 			continue
 		}

@@ -28,6 +28,10 @@ type SupernodeConfig struct {
 	DelayToCloud time.Duration
 	// FPS is the per-player segment rate.
 	FPS int
+	// HeartbeatEvery, when positive, sends THeartbeat liveness beacons on
+	// the cloud link at this period — the cloud's failure detector times
+	// the gaps between arrivals.
+	HeartbeatEvery time.Duration
 	// DelayFor, when non-nil, returns the one-way delay injected toward a
 	// player's video stream.
 	DelayFor func(playerID int64) time.Duration
@@ -47,6 +51,8 @@ func (c SupernodeConfig) Validate() error {
 		return fmt.Errorf("live: SupernodeConfig.DelayToCloud %v is negative", c.DelayToCloud)
 	case c.FPS <= 0:
 		return fmt.Errorf("live: SupernodeConfig.FPS %d is not positive", c.FPS)
+	case c.HeartbeatEvery < 0:
+		return fmt.Errorf("live: SupernodeConfig.HeartbeatEvery %v is negative", c.HeartbeatEvery)
 	}
 	return nil
 }
@@ -124,7 +130,31 @@ func StartSupernode(cfg SupernodeConfig) (*Supernode, error) {
 	go sn.consumeUpdates()
 	go sn.accept()
 	go sn.renderLoop()
+	if cfg.HeartbeatEvery > 0 {
+		sn.wg.Add(1)
+		go sn.heartbeatLoop()
+	}
 	return sn, nil
+}
+
+// heartbeatLoop sends periodic liveness beacons on the cloud link. When the
+// supernode dies (or its link is chaos-killed), the beacons stop and the
+// cloud's detector notices the silence.
+func (sn *Supernode) heartbeatLoop() {
+	defer sn.wg.Done()
+	ticker := time.NewTicker(sn.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-sn.stop:
+			return
+		case <-ticker.C:
+			seq++
+			sn.cloudLink.Send(proto.THeartbeat,
+				proto.MarshalHeartbeat(proto.Heartbeat{ID: sn.cfg.ID, Seq: seq}))
+		}
+	}
 }
 
 // Addr returns the supernode's player-facing listen address.

@@ -41,6 +41,16 @@ const (
 	// EventFaultLink fires on an impairment window edge. A = 1 entering the
 	// impaired state, 0 leaving it.
 	EventFaultLink
+	// EventHealthDetect fires when the failure detector suspects a node.
+	// A = 1 for a true detection (B = detection latency ns), 0 for a false
+	// positive on a live node.
+	EventHealthDetect
+	// EventHealthOverload fires on a degradation-ladder transition.
+	// A = new OverloadState, B = previous state.
+	EventHealthOverload
+	// EventHealthBreaker fires on a circuit-breaker state change.
+	// A = new BreakerState.
+	EventHealthBreaker
 )
 
 // String names the kind for logs and tests.
@@ -68,6 +78,12 @@ func (k EventKind) String() string {
 		return "fault_recover"
 	case EventFaultLink:
 		return "fault_link"
+	case EventHealthDetect:
+		return "health_detect"
+	case EventHealthOverload:
+		return "health_overload"
+	case EventHealthBreaker:
+		return "health_breaker"
 	default:
 		return "unknown"
 	}
@@ -281,6 +297,80 @@ func FaultStatsIn(r *Registry) *FaultStats {
 		StormJoins:     r.Counter("cloudfog_fault_storm_joins_total", "flash-crowd joins injected"),
 		MTTRNs:         r.Histogram("cloudfog_fault_mttr_ns", "supernode kill-to-recover downtime", LatencyBucketsNs()),
 		InterruptionNs: r.Histogram("cloudfog_fault_interruption_ns", "per-orphan kill-to-repair interruption", LatencyBucketsNs()),
+	}
+}
+
+// HealthStats instruments the health subsystem: heartbeat traffic and
+// detection outcomes, the supernode degradation ladder, and the
+// cloud-fallback circuit breaker. The detection ledger identity the
+// reconciliation checks is
+//
+//	Detected + DetectPending == KillsObserved
+//
+// and FalsePositives must stay zero on a loss-free profile.
+type HealthStats struct {
+	HeartbeatsSent *Counter // heartbeat frames sent by live nodes
+	HeartbeatsLost *Counter // heartbeats shed by impairment windows
+	Detected       *Counter // node failures detected (one per down-transition)
+	FalsePositives *Counter // live nodes wrongly suspected
+	KillsObserved  *Counter // kills applied while a heartbeat monitor watched
+	DetectPending  *Counter // monitored kills still undetected at the horizon
+	DetectionNs    *Histogram
+
+	Degraded       *Counter // ladder transitions upward (toward Migrating)
+	Restored       *Counter // ladder transitions back down (toward Normal)
+	JoinsRejected  *Counter // supernode candidacies refused by admission control
+	Migrations     *Counter // players migrated off overloaded supernodes
+	TimeDegradedNs *Histogram
+
+	BreakerOpens   *Counter // breaker trips to open
+	BreakerProbes  *Counter // half-open probes admitted
+	BreakerRejects *Counter // requests refused while open/half-open-exhausted
+
+	// Sink, when non-nil, receives detect/overload/breaker events.
+	Sink EventSink
+}
+
+// NewHealthStats returns a standalone bundle (not registry-backed).
+func NewHealthStats() *HealthStats {
+	return &HealthStats{
+		HeartbeatsSent: new(Counter),
+		HeartbeatsLost: new(Counter),
+		Detected:       new(Counter),
+		FalsePositives: new(Counter),
+		KillsObserved:  new(Counter),
+		DetectPending:  new(Counter),
+		DetectionNs:    NewHistogram(LatencyBucketsNs()),
+		Degraded:       new(Counter),
+		Restored:       new(Counter),
+		JoinsRejected:  new(Counter),
+		Migrations:     new(Counter),
+		TimeDegradedNs: NewHistogram(LatencyBucketsNs()),
+		BreakerOpens:   new(Counter),
+		BreakerProbes:  new(Counter),
+		BreakerRejects: new(Counter),
+	}
+}
+
+// HealthStatsIn binds the canonical health metrics in a registry. Like the
+// other bundles it is get-or-create, so sweep workers share instruments.
+func HealthStatsIn(r *Registry) *HealthStats {
+	return &HealthStats{
+		HeartbeatsSent: r.Counter("cloudfog_health_heartbeats_sent_total", "heartbeat frames sent by monitored nodes"),
+		HeartbeatsLost: r.Counter("cloudfog_health_heartbeats_lost_total", "heartbeats shed by impairment windows"),
+		Detected:       r.Counter("cloudfog_health_detected_total", "node failures detected by the heartbeat detector"),
+		FalsePositives: r.Counter("cloudfog_health_false_positives_total", "live nodes wrongly suspected"),
+		KillsObserved:  r.Counter("cloudfog_health_kills_observed_total", "kills applied while a heartbeat monitor watched"),
+		DetectPending:  r.Counter("cloudfog_health_detect_pending_total", "monitored kills still undetected at the horizon"),
+		DetectionNs:    r.Histogram("cloudfog_health_detection_latency_ns", "node death to detection latency", LatencyBucketsNs()),
+		Degraded:       r.Counter("cloudfog_health_degraded_total", "overload ladder transitions toward degradation"),
+		Restored:       r.Counter("cloudfog_health_restored_total", "overload ladder transitions back toward normal"),
+		JoinsRejected:  r.Counter("cloudfog_health_joins_rejected_total", "supernode candidacies refused by overload admission control"),
+		Migrations:     r.Counter("cloudfog_health_migrations_total", "players migrated off overloaded supernodes"),
+		TimeDegradedNs: r.Histogram("cloudfog_health_time_degraded_ns", "time supernodes spent degraded before returning to normal", LatencyBucketsNs()),
+		BreakerOpens:   r.Counter("cloudfog_health_breaker_opens_total", "cloud-fallback circuit breaker trips"),
+		BreakerProbes:  r.Counter("cloudfog_health_breaker_probes_total", "half-open probes admitted toward the cloud"),
+		BreakerRejects: r.Counter("cloudfog_health_breaker_rejects_total", "cloud attaches refused by the open breaker"),
 	}
 }
 

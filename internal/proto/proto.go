@@ -39,6 +39,8 @@ const (
 	TAck
 	// THello identifies a connecting peer's role.
 	THello
+	// THeartbeat is a supernode's periodic liveness beacon to the cloud.
+	THeartbeat
 )
 
 // MaxFrame bounds frame payloads (16 MiB) against corrupt length headers.
@@ -352,6 +354,28 @@ func MarshalHello(h Hello) []byte {
 func UnmarshalHello(p []byte) (Hello, error) {
 	b := buffer{b: p}
 	h := Hello{Role: Role(b.ru8()), ID: b.ri64()}
+	return h, b.finish()
+}
+
+// Heartbeat is a supernode's periodic liveness beacon: the cloud's failure
+// detector times the gaps between arrivals.
+type Heartbeat struct {
+	ID  int64
+	Seq uint64
+}
+
+// MarshalHeartbeat encodes a heartbeat.
+func MarshalHeartbeat(h Heartbeat) []byte {
+	var b buffer
+	b.i64(h.ID)
+	b.u64(h.Seq)
+	return b.b
+}
+
+// UnmarshalHeartbeat decodes a heartbeat.
+func UnmarshalHeartbeat(p []byte) (Heartbeat, error) {
+	b := buffer{b: p}
+	h := Heartbeat{ID: b.ri64(), Seq: b.ru64()}
 	return h, b.finish()
 }
 

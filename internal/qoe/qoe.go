@@ -118,6 +118,10 @@ type PlayerSpec struct {
 	// before a segment can be rendered: for a fog supernode, the
 	// cloud→supernode update latency; zero when the cloud itself serves.
 	InboundDelay time.Duration
+	// LevelCap, when positive, bounds the encoding ladder below the game's
+	// matched level — the overload ladder's degradation cap on the serving
+	// node. Zero leaves the ladder unconstrained.
+	LevelCap int
 }
 
 // PlayerResult summarizes one player's stream after the run.
@@ -262,6 +266,9 @@ func (s *ServerSim) AddPlayer(spec PlayerSpec) error {
 		return fmt.Errorf("qoe: AddPlayer after Start")
 	}
 	start := spec.Game.Quality()
+	if spec.LevelCap > 0 && spec.LevelCap < start.Level {
+		start = game.MustLevelAt(spec.LevelCap)
+	}
 	ss := &session{
 		spec:    spec,
 		encoder: stream.NewEncoder(s.opts.Stream, spec.ID, start),
@@ -269,6 +276,9 @@ func (s *ServerSim) AddPlayer(spec PlayerSpec) error {
 	}
 	if s.opts.Adaptation {
 		ss.ctrl = adapt.NewController(s.opts.Adapt, spec.Game)
+		if spec.LevelCap > 0 {
+			ss.ctrl.SetMaxLevel(spec.LevelCap)
+		}
 	}
 	if _, dup := s.sessionBy[spec.ID]; dup {
 		return fmt.Errorf("qoe: duplicate player id %d", spec.ID)
