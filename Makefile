@@ -23,10 +23,11 @@ race:
 bench:
 	$(GO) run ./cmd/cloudfog-bench
 
-# bench-json records this PR's numbers as BENCH_PR5.json (same schema as
-# BENCH_PR4.json) and prints the recorded-vs-live comparison against it.
+# bench-json records this PR's numbers as BENCH_PR6.json (same schema as
+# BENCH_PR5.json, plus the ShardedRun scaling curve) and prints the
+# recorded-vs-live comparison against the previous PR's file.
 bench-json:
-	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR5.json -baseline BENCH_PR4.json
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR6.json -baseline BENCH_PR5.json
 
 # bench-all runs the full per-figure benchmark suite.
 bench-all:
@@ -46,6 +47,9 @@ chaos:
 	$(GO) run ./cmd/cloudfog-sim -figures figdetect \
 		-players 1500 -supernodes 100 \
 		-report detect_report.json
+	$(GO) run -race ./cmd/cloudfog-sim -scale \
+		-players 1500 -supernodes 100 -shards 4 \
+		-horizon 30s -epoch 10s -detector phi -overload
 
 # verify is the CI gate: static checks, the race-enabled suite, and the
 # chaos smoke.

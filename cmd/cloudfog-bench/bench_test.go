@@ -1,0 +1,37 @@
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"cloudfog/internal/experiment"
+)
+
+var (
+	scaleWorldOnce sync.Once
+	scaleWorldMem  *experiment.World
+)
+
+func sharedScaleWorld() *experiment.World {
+	scaleWorldOnce.Do(func() { scaleWorldMem = scaleWorld() })
+	return scaleWorldMem
+}
+
+// BenchmarkShardedRun mirrors the cloudfog-bench binary's ShardedRun curve
+// for `go test -bench`: one full scaling run (100k players, two epochs of
+// the scale chaos profile) at each shard count. On a single-CPU host the
+// curve is flat; on k cores the data-plane phase shrinks toward 1/k.
+func BenchmarkShardedRun(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "shards=1", 2: "shards=2", 4: "shards=4", 8: "shards=8"}[shards], func(b *testing.B) {
+			w := sharedScaleWorld()
+			w.Cfg.Shards = shards
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiment.ScaleRun(w, scaleRunOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -64,6 +64,26 @@ func benchWorld() *experiment.World {
 	return w
 }
 
+// scaleWorld is the 100k-player world the ShardedRun scaling curve uses —
+// generated once, reused across shard counts (runs join and leave cleanly).
+func scaleWorld() *experiment.World {
+	cfg := experiment.Default(2026)
+	cfg.Players = 100_000
+	cfg.Supernodes = 6250
+	cfg.EdgeServers = 45
+	w, err := experiment.NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// scaleRunOptions is the ShardedRun benchmark's fixed scenario: two epochs
+// of the scale chaos profile with the default node-sample budget.
+func scaleRunOptions() experiment.RunOptions {
+	return experiment.RunOptions{Horizon: 20 * time.Second, ScaleEpoch: 10 * time.Second, Detector: "phi", Overload: true}
+}
+
 // compare prints each live result against the recorded baseline.
 func compare(baselinePath string, live map[string]Result) error {
 	buf, err := os.ReadFile(baselinePath)
@@ -97,7 +117,7 @@ func compare(baselinePath string, live map[string]Result) error {
 }
 
 func main() {
-	outPath := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	baseline := flag.String("baseline", "", "recorded results to compare against (e.g. BENCH_PR2.json; empty = no comparison)")
 	flag.Parse()
 
@@ -276,6 +296,25 @@ func main() {
 			}
 		}
 	})
+
+	// The sharded single-run scaling curve: the same 100k-player world run
+	// end-to-end at 1, 2, 4, and 8 shards. On a multi-core host the curve
+	// falls with the shard count; on a single-CPU host it stays flat (the
+	// goroutines time-slice one core) and what the record proves is that
+	// the parallel path costs no more than the serial one.
+	sw := scaleWorld()
+	for _, shards := range []int{1, 2, 4, 8} {
+		sw.Cfg.Shards = shards
+		name := fmt.Sprintf("ShardedRun/shards=%d", shards)
+		record(results, name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiment.ScaleRun(sw, scaleRunOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

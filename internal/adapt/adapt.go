@@ -85,6 +85,15 @@ type Controller struct {
 // NewController returns a controller for the given game, starting at the
 // game's matched ladder level.
 func NewController(cfg Config, g game.Game) *Controller {
+	c := new(Controller)
+	c.Init(cfg, g)
+	return c
+}
+
+// Init is NewController writing into caller-provided storage: it overwrites
+// every field, so value-embedded controllers (the QoE session arena) can be
+// re-initialized in place without a heap allocation.
+func (c *Controller) Init(cfg Config, g game.Game) {
 	if cfg.Theta == 0 {
 		cfg.Theta = 0.5
 	}
@@ -97,7 +106,7 @@ func NewController(cfg Config, g game.Game) *Controller {
 	if cfg.DownStreak == 0 {
 		cfg.DownStreak = 10
 	}
-	return &Controller{cfg: cfg, g: g, level: g.StartLevel, maxLevel: g.StartLevel}
+	*c = Controller{cfg: cfg, g: g, level: g.StartLevel, maxLevel: g.StartLevel}
 }
 
 // Level returns the current encoding operating point.

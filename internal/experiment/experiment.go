@@ -47,6 +47,12 @@ type Config struct {
 	// identical at any setting; see sweepPoints.
 	SweepWorkers int
 
+	// Shards partitions a single run's simulated world by geographic
+	// region and runs the slices in parallel between deterministic epoch
+	// barriers (internal/shard). 0 or 1 runs serially; any value produces
+	// byte-identical figure output (see groupRun and ScaleRun).
+	Shards int
+
 	// Obs, when non-nil, aggregates observability counters from every
 	// system and QoE run a figure performs: segment lifecycle and delivery
 	// latency from the per-node simulations, assignment outcomes from each

@@ -54,6 +54,14 @@ type RunOptions struct {
 	Overload bool
 	// Breaker installs the cloud-fallback circuit breaker on those fogs.
 	Breaker bool
+	// ScaleEpoch is the sharded scaling run's barrier interval (figscale).
+	// Default: 15s.
+	ScaleEpoch time.Duration
+	// ScaleNodeBudget caps how many supernodes run the segment-level QoE
+	// simulation per epoch of the scaling run; the sample is a pure hash
+	// of (seed, epoch, node), so it is partition-invariant. 0 uses the
+	// default of 32; pass a negative value to simulate every node.
+	ScaleNodeBudget int
 }
 
 // healthOptions resolves the run's failure-handling knobs, rejecting unknown
@@ -119,6 +127,14 @@ func (o RunOptions) filled() RunOptions {
 	}
 	if len(o.DetectIntervals) == 0 {
 		o.DetectIntervals = d.DetectIntervals
+	}
+	if o.ScaleEpoch <= 0 {
+		o.ScaleEpoch = 15 * time.Second
+	}
+	if o.ScaleNodeBudget == 0 {
+		o.ScaleNodeBudget = 32
+	} else if o.ScaleNodeBudget < 0 {
+		o.ScaleNodeBudget = 0 // explicit "no cap"
 	}
 	return o
 }
@@ -260,6 +276,15 @@ var figures = []Figure{
 			}
 			s, title, err := RecoveryTimeline(w, resilienceProfile(w, o), o.Horizon, ho)
 			return FigureResult{Title: title, Series: s}, err
+		},
+	},
+	{
+		Name:   "figscale",
+		Title:  "Scaling: sharded single-run service quality over time",
+		XLabel: "t (s)",
+		Run: func(w *World, o RunOptions) (FigureResult, error) {
+			_, fig, err := ScaleRun(w, o)
+			return fig, err
 		},
 	},
 	{

@@ -45,12 +45,11 @@ func healthStatsFor(w *World) *obs.HealthStats {
 	return obs.HealthStatsIn(w.Cfg.Obs)
 }
 
-// newHealthFog mints a default-scale fog with the run's health apparatus
-// installed: the overload ladder and breaker ride the core config, and the
-// heartbeat monitor (returned separately, nil in oracle mode) rides the
-// engine. loss feeds the schedule's loss windows into heartbeat delivery; it
-// may be nil. A zero HealthOptions builds exactly what NewFog builds.
-func (w *World) newHealthFog(engine *sim.Engine, ho HealthOptions, loss func(time.Duration) float64) (*core.Fog, *health.Monitor, error) {
+// buildHealthFog mints a default-scale fog with the run's health apparatus
+// installed against an arbitrary virtual-time source — the engine's Now for
+// the serial figures, the shard runner's barrier Clock for sharded runs.
+// A zero HealthOptions builds exactly what NewFog builds.
+func (w *World) buildHealthFog(now func() time.Duration, ho HealthOptions) (*core.Fog, error) {
 	cc := w.Cfg.Core
 	if w.Cfg.Obs != nil {
 		cc.Obs = obs.AssignStatsIn(w.Cfg.Obs)
@@ -58,24 +57,32 @@ func (w *World) newHealthFog(engine *sim.Engine, ho HealthOptions, loss func(tim
 	hs := healthStatsFor(w)
 	if ho.Overload || ho.Breaker {
 		cc.Health = hs
-		cc.Now = engine.Now
+		cc.Now = now
 	}
 	if ho.Overload {
-		ol, err := health.NewOverload(health.OverloadConfig{}, hs, engine.Now)
+		ol, err := health.NewOverload(health.OverloadConfig{}, hs, now)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		cc.Overload = ol
 	}
 	if ho.Breaker {
 		br, err := health.NewBreaker(health.BreakerConfig{}, hs)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		cc.Breaker = br
 	}
-	fog, err := core.BuildFog(cc, w.Datacenters(w.Cfg.Datacenters), w.SupernodeSet(w.Cfg.Supernodes),
+	return core.BuildFog(cc, w.Datacenters(w.Cfg.Datacenters), w.SupernodeSet(w.Cfg.Supernodes),
 		sim.NewRand(w.Cfg.Seed+200))
+}
+
+// newHealthFog is buildHealthFog on an engine clock plus the heartbeat
+// monitor (returned separately, nil in oracle mode) riding that engine.
+// loss feeds the schedule's loss windows into heartbeat delivery; it may be
+// nil.
+func (w *World) newHealthFog(engine *sim.Engine, ho HealthOptions, loss func(time.Duration) float64) (*core.Fog, *health.Monitor, error) {
+	fog, err := w.buildHealthFog(engine.Now, ho)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -83,7 +90,7 @@ func (w *World) newHealthFog(engine *sim.Engine, ho HealthOptions, loss func(tim
 	if ho.Detector != health.ModeOracle {
 		dc := ho.DetectorConfig
 		dc.Mode = ho.Detector
-		mon = health.NewMonitor(engine, dc, loss, hs)
+		mon = health.NewMonitor(engine, dc, loss, healthStatsFor(w))
 	}
 	return fog, mon, nil
 }

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"cloudfog/internal/fault"
+	"cloudfog/internal/metrics"
+	"cloudfog/internal/qoe"
+	"cloudfog/internal/shard"
+)
+
+// scaleChaosProfile is the fault scenario the scaling figure replays: brisk
+// supernode crash/recovery churn with a 10-second detection window, a light
+// Gilbert–Elliott loss process, and periodic latency spikes. It deliberately
+// contains only crash and wire specs — joins and cloud scaling are control-
+// plane ops the sharded runner's barrier protocol does not exchange.
+func scaleChaosProfile(seed int64, duration time.Duration) *fault.Profile {
+	return &fault.Profile{
+		Name:     "scale-chaos",
+		Seed:     seed,
+		Duration: fault.Dur(duration),
+		Specs: []fault.Spec{
+			{Kind: fault.KindCrash, MTTF: fault.Dur(45 * time.Second), MTTR: fault.Dur(20 * time.Second),
+				Detect: fault.Dur(10 * time.Second), TargetFrac: 0.3},
+			{Kind: fault.KindLoss, MeanGood: fault.Dur(90 * time.Second), MeanBad: fault.Dur(8 * time.Second),
+				LossFrac: 0.15},
+			{Kind: fault.KindLatency, MeanGood: fault.Dur(2 * time.Minute), MeanBad: fault.Dur(12 * time.Second),
+				Extra: fault.Dur(30 * time.Millisecond)},
+		},
+	}
+}
+
+// ScaleRun executes the sharded single-run scaling experiment (figscale):
+// the whole population joins one fog, the scale chaos profile churns the
+// supernodes, and Cfg.Shards shard slices run the data plane (heartbeat
+// monitors plus a budgeted sample of segment-level node simulations) in
+// parallel between epoch barriers. The figure series — served, fog-served,
+// unserved, and latency-coverage fractions over time — and everything in the
+// returned FigureResult are partition-invariant: byte-identical at any shard
+// count, including the serial anchor Shards=1. The shard.Result carries the
+// partition-dependent scaling diagnostics (cross-shard repair and migration
+// counts) alongside the invariant tallies.
+func ScaleRun(w *World, o RunOptions) (shard.Result, FigureResult, error) {
+	o = o.filled()
+	ho, err := o.healthOptions()
+	if err != nil {
+		return shard.Result{}, FigureResult{}, err
+	}
+	clk := &shard.Clock{}
+	fog, err := w.buildHealthFog(clk.Now, ho)
+	if err != nil {
+		return shard.Result{}, FigureResult{}, err
+	}
+	players := w.JoinAll(fog, w.Cfg.Players)
+	sched, err := fault.Compile(scaleChaosProfile(w.Cfg.Seed+700, o.Horizon), w.FaultTargets())
+	if err != nil {
+		return shard.Result{}, FigureResult{}, err
+	}
+	qopts := qoe.DefaultOptions()
+	qopts.Seed = w.Cfg.Seed + 701
+	// Each epoch is simulated as a fresh session, so the warmup transient
+	// scales with the barrier interval instead of eating short epochs
+	// whole.
+	qopts.Warmup = o.ScaleEpoch / 5
+	cfg := shard.Config{
+		Shards:         w.Cfg.Shards,
+		Seed:           w.Cfg.Seed,
+		Horizon:        o.Horizon,
+		Epoch:          o.ScaleEpoch,
+		Width:          w.Cfg.Core.Region.Width,
+		Height:         w.Cfg.Core.Region.Height,
+		Detector:       ho.Detector,
+		DetectorConfig: ho.DetectorConfig,
+		Overload:       ho.Overload,
+		QoE:            qopts,
+		QoENodeBudget:  o.ScaleNodeBudget,
+	}
+	runner := shard.NewRunner(cfg, fog, players, sched, w.Respawner(), clk)
+	res, err := runner.Run()
+	if err != nil {
+		return res, FigureResult{}, err
+	}
+	w.LeaveAll(fog, players)
+
+	served := metrics.Series{Label: "served"}
+	fogServed := metrics.Series{Label: "fog-served"}
+	unserved := metrics.Series{Label: "unserved"}
+	coverage := metrics.Series{Label: "coverage"}
+	n := float64(res.Players)
+	for _, s := range res.Samples {
+		t := s.T.Seconds()
+		served.Add(t, float64(s.Served)/n)
+		fogServed.Add(t, float64(s.FogServed)/n)
+		unserved.Add(t, float64(s.Unserved)/n)
+		coverage.Add(t, float64(s.Within)/n)
+	}
+	// The title carries only partition-invariant tallies, so the whole
+	// FigureResult compares bytewise across shard counts.
+	title := fmt.Sprintf(
+		"Scaling run (%d players, %d epochs): %d kills, %d detections (mean %.2fs), %d repairs, %d lapsed, %d cloud hops, sampled continuity %.3f over %d players",
+		res.Players, res.Epochs, res.Kills, res.Detections,
+		res.MeanDetectionLatency().Seconds(), res.Repairs, res.Lapsed,
+		res.CloudHops, res.MeanContinuity, res.QoEPlayers)
+	fig := FigureResult{
+		Name:   "figscale",
+		Title:  title,
+		XLabel: "t (s)",
+		Series: []metrics.Series{served, fogServed, unserved, coverage},
+	}
+	return res, fig, nil
+}

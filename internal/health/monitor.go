@@ -1,7 +1,7 @@
 package health
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"cloudfog/internal/obs"
@@ -27,7 +27,15 @@ type Monitor struct {
 	onDetect func(id int64, now time.Duration)
 
 	nodes map[int64]*monNode
-	ids   []int64 // sorted, for deterministic evaluation sweeps
+	// seq holds the tracked nodes for the evaluation sweep; appended on
+	// Track and re-sorted by ID only when a sweep actually runs, so bulk
+	// registration costs no per-node sorted-insert shuffle.
+	seq      []*monNode
+	seqDirty bool
+	// block is the tail of a chunked node arena: nodes and their detector
+	// gap windows come from per-chunk slabs, pointer-stable for the
+	// lifetime of the monitor, instead of three heap objects per Track.
+	block *monBlock
 	stats *obs.HealthStats
 
 	hbFn func(any) // pre-bound payload callback: no closure per heartbeat
@@ -43,11 +51,37 @@ type Monitor struct {
 
 type monNode struct {
 	id        int64
-	det       *Detector
+	det       Detector
 	alive     bool
 	suspected bool
 	downAt    time.Duration
 	lossAcc   float64
+}
+
+// monChunk is the arena slab size: one allocation per 64 tracked nodes
+// (plus one gap-window backing array shared by the slab).
+const monChunk = 64
+
+type monBlock struct {
+	nodes [monChunk]monNode
+	used  int
+	gaps  []time.Duration
+}
+
+// allocNode hands out the next arena slot with its detector wired to a
+// cap-bounded sub-window of the slab's shared gaps array — the detector
+// ring never grows past Window, so the sub-slice is all it ever needs.
+func (m *Monitor) allocNode() *monNode {
+	if m.block == nil || m.block.used == monChunk {
+		m.block = &monBlock{gaps: make([]time.Duration, monChunk*m.cfg.Window)}
+	}
+	b := m.block
+	n := &b.nodes[b.used]
+	w := m.cfg.Window
+	lo := b.used * w
+	*n = monNode{det: Detector{cfg: m.cfg, gaps: b.gaps[lo : lo : lo+w]}}
+	b.used++
+	return n
 }
 
 // NewMonitor binds a monitor to an engine. loss and onDetect may be nil;
@@ -74,13 +108,13 @@ func (m *Monitor) Track(id int64) {
 	if _, dup := m.nodes[id]; dup {
 		return
 	}
-	n := &monNode{id: id, det: NewDetector(m.cfg), alive: true}
+	n := m.allocNode()
+	n.id = id
+	n.alive = true
 	n.det.Reset(m.engine.Now())
 	m.nodes[id] = n
-	i := sort.Search(len(m.ids), func(i int) bool { return m.ids[i] >= id })
-	m.ids = append(m.ids, 0)
-	copy(m.ids[i+1:], m.ids[i:])
-	m.ids[i] = id
+	m.seq = append(m.seq, n)
+	m.seqDirty = true
 	h := uint64(id)*2654435761 + 0x9e3779b97f4a7c15
 	offset := time.Duration(h % uint64(m.cfg.Interval))
 	m.engine.SchedulePayload(offset, m.hbFn, n)
@@ -157,12 +191,30 @@ func (m *Monitor) heartbeat(arg any) {
 	m.engine.SchedulePayload(m.cfg.Interval, m.hbFn, n)
 }
 
+// sorted returns the tracked nodes in ascending ID order, re-sorting only
+// after new registrations. The sort is in place over the standing slice:
+// steady-state sweeps pay zero allocations.
+func (m *Monitor) sorted() []*monNode {
+	if m.seqDirty {
+		slices.SortFunc(m.seq, func(a, b *monNode) int {
+			switch {
+			case a.id < b.id:
+				return -1
+			case a.id > b.id:
+				return 1
+			}
+			return 0
+		})
+		m.seqDirty = false
+	}
+	return m.seq
+}
+
 // evaluate sweeps every tracked detector. Sorted-ID order keeps the sweep —
 // and therefore the onDetect callback order inside one tick — deterministic.
 func (m *Monitor) evaluate() {
 	now := m.engine.Now()
-	for _, id := range m.ids {
-		n := m.nodes[id]
+	for _, n := range m.sorted() {
 		if n.suspected || !n.det.Suspect(now) {
 			continue
 		}
@@ -172,7 +224,7 @@ func (m *Monitor) evaluate() {
 			if m.stats != nil {
 				m.stats.FalsePositives.Inc()
 				if m.stats.Sink != nil {
-					m.stats.Sink(obs.Event{Kind: obs.EventHealthDetect, At: now, Node: id, A: 0})
+					m.stats.Sink(obs.Event{Kind: obs.EventHealthDetect, At: now, Node: n.id, A: 0})
 				}
 			}
 			continue
@@ -187,11 +239,11 @@ func (m *Monitor) evaluate() {
 			m.stats.Detected.Inc()
 			m.stats.DetectionNs.Observe(int64(lat))
 			if m.stats.Sink != nil {
-				m.stats.Sink(obs.Event{Kind: obs.EventHealthDetect, At: now, Node: id, A: 1, B: int64(lat)})
+				m.stats.Sink(obs.Event{Kind: obs.EventHealthDetect, At: now, Node: n.id, A: 1, B: int64(lat)})
 			}
 		}
 		if m.onDetect != nil {
-			m.onDetect(id, now)
+			m.onDetect(n.id, now)
 		}
 	}
 }
@@ -225,8 +277,7 @@ func (m *Monitor) MaxDetectionLatency() time.Duration { return m.detLatencyMax }
 // at now — a test hook for bounding false-positive margins.
 func (m *Monitor) MaxObservedAlive(now time.Duration) time.Duration {
 	var worst time.Duration
-	for _, id := range m.ids {
-		n := m.nodes[id]
+	for _, n := range m.sorted() {
 		if n.alive {
 			if s := n.det.Silence(now); s > worst {
 				worst = s

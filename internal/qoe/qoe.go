@@ -135,6 +135,11 @@ type PlayerResult struct {
 	LevelChanges int
 	Stalls       int
 	Segments     int64
+	// PacketsOnTime and PacketsTotal are the continuity meter's raw
+	// post-warmup tallies. Continuity == PacketsOnTime/PacketsTotal; the
+	// integers are what epoch-sharded runs merge across epochs, exactly.
+	PacketsOnTime int64
+	PacketsTotal  int64
 }
 
 // ServerSim simulates one serving node streaming to its players.
@@ -152,9 +157,11 @@ type ServerSim struct {
 
 	sessions  []*session
 	sessionBy map[int64]*session
+	sessArena []session // backing store for sessions; pool-recycled
 	rng       *sim.Rand
 	busy      bool
 	started   bool
+	halted    bool
 
 	// Pre-bound payload callbacks: binding a method value once here keeps
 	// SchedulePayload from allocating a fresh closure per event.
@@ -164,6 +171,11 @@ type ServerSim struct {
 	deliverFn  func(any)
 
 	segPool []*stream.Segment
+	// segAll tracks every segment this sim ever allocated, including ones
+	// in flight when the run ends (those never come back through
+	// putSegment). The pool re-deals the full set at the next run's start,
+	// so pooled runs stop allocating segments at peak concurrency.
+	segAll []*stream.Segment
 
 	// Always-on per-run lifecycle tallies (plain ints: one increment per
 	// event, no atomics, no allocations). Results folds them into
@@ -175,12 +187,17 @@ type ServerSim struct {
 	obsFolded                       bool
 }
 
+// session holds one player's per-run state. Every component is embedded by
+// value — the encoder, controller, receiver buffer, meter, and estimator
+// are all flat structs — so a session is a single contiguous record and the
+// arena behind sessions is the only allocation the player set needs.
 type session struct {
-	spec    PlayerSpec
-	encoder *stream.Encoder
-	ctrl    *adapt.Controller
-	recv    *stream.ReceiverBuffer
-	meter   stream.ContinuityMeter
+	spec     PlayerSpec
+	encoder  stream.Encoder
+	ctrl     adapt.Controller
+	adapting bool
+	recv     stream.ReceiverBuffer
+	meter    stream.ContinuityMeter
 
 	// est is the Eq. 7 buffered-size estimator driving adaptation; the
 	// receiver measures its download rate over each estimation interval.
@@ -196,6 +213,12 @@ type session struct {
 // NewServerSim builds a serving-node simulation on the engine with the
 // given uplink bandwidth (bits/second).
 func NewServerSim(engine *sim.Engine, opts Options, uplink int64) (*ServerSim, error) {
+	return newServerSimIn(engine, opts, uplink, nil)
+}
+
+// newServerSimIn is NewServerSim reusing a pooled sender buffer when one is
+// supplied (Reset makes it indistinguishable from a fresh buffer).
+func newServerSimIn(engine *sim.Engine, opts Options, uplink int64, buf *sched.Buffer) (*ServerSim, error) {
 	if uplink <= 0 {
 		return nil, fmt.Errorf("qoe: non-positive uplink %d", uplink)
 	}
@@ -211,13 +234,17 @@ func NewServerSim(engine *sim.Engine, opts Options, uplink int64) (*ServerSim, e
 			engine.SetStats(opts.Obs.Engine)
 		}
 	}
+	if buf == nil {
+		buf = sched.NewBuffer(schedCfg, opts.Stream, uplink)
+	} else {
+		buf.Reset(schedCfg, opts.Stream, uplink)
+	}
 	s := &ServerSim{
-		engine:    engine,
-		opts:      opts,
-		buffer:    sched.NewBuffer(schedCfg, opts.Stream, uplink),
-		uplink:    uplink,
-		sessionBy: make(map[int64]*session),
-		rng:       sim.NewRand(opts.Seed),
+		engine: engine,
+		opts:   opts,
+		buffer: buf,
+		uplink: uplink,
+		rng:    sim.NewRand(opts.Seed),
 	}
 	s.generateFn = s.generate
 	s.estimateFn = s.estimate
@@ -236,7 +263,9 @@ func (s *ServerSim) getSegment() *stream.Segment {
 		s.segPool = s.segPool[:n-1]
 		return seg
 	}
-	return new(stream.Segment)
+	seg := new(stream.Segment)
+	s.segAll = append(s.segAll, seg)
+	return seg
 }
 
 func (s *ServerSim) putSegment(seg *stream.Segment) {
@@ -265,23 +294,38 @@ func (s *ServerSim) AddPlayer(spec PlayerSpec) error {
 	if s.started {
 		return fmt.Errorf("qoe: AddPlayer after Start")
 	}
+	if s.sessionBy == nil {
+		s.sessionBy = make(map[int64]*session)
+	}
+	if _, dup := s.sessionBy[spec.ID]; dup {
+		return fmt.Errorf("qoe: duplicate player id %d", spec.ID)
+	}
 	start := spec.Game.Quality()
 	if spec.LevelCap > 0 && spec.LevelCap < start.Level {
 		start = game.MustLevelAt(spec.LevelCap)
 	}
-	ss := &session{
+	// Take the session from the arena while spare capacity remains (the
+	// pool pre-sizes it); the assignment overwrites every field of a
+	// recycled slot. Growing the arena would move live sessions, so past
+	// its capacity each session allocates individually.
+	var ss *session
+	if len(s.sessArena) < cap(s.sessArena) {
+		s.sessArena = s.sessArena[:len(s.sessArena)+1]
+		ss = &s.sessArena[len(s.sessArena)-1]
+	} else {
+		ss = new(session)
+	}
+	*ss = session{
 		spec:    spec,
-		encoder: stream.NewEncoder(s.opts.Stream, spec.ID, start),
-		recv:    stream.NewReceiverBuffer(s.opts.Stream, start.Bitrate),
+		encoder: *stream.NewEncoder(s.opts.Stream, spec.ID, start),
+		recv:    *stream.NewReceiverBuffer(s.opts.Stream, start.Bitrate),
 	}
 	if s.opts.Adaptation {
-		ss.ctrl = adapt.NewController(s.opts.Adapt, spec.Game)
+		ss.ctrl.Init(s.opts.Adapt, spec.Game)
+		ss.adapting = true
 		if spec.LevelCap > 0 {
 			ss.ctrl.SetMaxLevel(spec.LevelCap)
 		}
-	}
-	if _, dup := s.sessionBy[spec.ID]; dup {
-		return fmt.Errorf("qoe: duplicate player id %d", spec.ID)
 	}
 	prebuf := float64(s.opts.PrebufferSegments * s.opts.Stream.SegmentBytes(start.Bitrate))
 	ss.recv.SetPrebuffer(prebuf)
@@ -306,7 +350,7 @@ func (s *ServerSim) Start() {
 	for i, ss := range s.sessions {
 		offset := time.Duration(int64(period) * int64(i) / int64(n))
 		s.engine.SchedulePayload(offset, s.generateFn, ss)
-		if ss.ctrl != nil {
+		if ss.adapting {
 			// Periodic receiver-side occupancy estimation (§III-B: the
 			// client calculates r a number of times consecutively).
 			s.engine.SchedulePayload(offset, s.estimateFn, ss)
@@ -319,6 +363,9 @@ func (s *ServerSim) Start() {
 // applies any resulting encoding-level change, then schedules the next
 // calculation.
 func (s *ServerSim) estimate(arg any) {
+	if s.halted {
+		return
+	}
 	ss := arg.(*session)
 	now := s.engine.Now()
 	ss.recv.Advance(now)
@@ -364,6 +411,9 @@ func (s *ServerSim) estimationInterval() time.Duration {
 // generate produces the next segment of a session and schedules the
 // following one a frame interval later.
 func (s *ServerSim) generate(arg any) {
+	if s.halted {
+		return
+	}
 	ss := arg.(*session)
 	now := s.engine.Now()
 	actionTime := now - ss.spec.InboundDelay
@@ -435,6 +485,9 @@ func (s *ServerSim) pump() {
 // transmitted completes a segment's uplink transmission: it is delivered to
 // the player after its propagation latency, and the uplink moves on.
 func (s *ServerSim) transmitted(arg any) {
+	if s.halted {
+		return
+	}
 	seg := arg.(*stream.Segment)
 	s.busy = false
 	now := s.engine.Now()
@@ -480,6 +533,9 @@ func (s *ServerSim) transmitted(arg any) {
 // the new occupancy. The deliver event fires exactly at the arrival time the
 // transmission computed, so arrival is the engine clock here.
 func (s *ServerSim) deliver(arg any) {
+	if s.halted {
+		return
+	}
 	seg := arg.(*stream.Segment)
 	ss := s.sessionFor(seg.PlayerID)
 	arrival := s.engine.Now()
@@ -516,6 +572,15 @@ func (s *ServerSim) deliver(arg any) {
 
 func (s *ServerSim) sessionFor(id int64) *session { return s.sessionBy[id] }
 
+// Halt freezes the simulation permanently: every callback that fires after
+// Halt returns immediately without acting or rescheduling, so the node's
+// remaining queued events decay into no-ops. The shard runner halts a
+// node's data plane at its kill time (mid-epoch, via a scheduled event that
+// sorts before the node's own same-timestamp events) and halts every node
+// sim at an epoch barrier before collecting results. Results of everything
+// that happened before the halt remain readable.
+func (s *ServerSim) Halt() { s.halted = true }
+
 // Lifecycle returns the always-on per-run segment tallies. The identity
 // generated == delivered + dropped + inFlight holds at any stopping point:
 // every generated segment is eventually delivered, discarded, or still
@@ -551,25 +616,33 @@ func (s *ServerSim) FlushObs() {
 
 // Results summarizes every player after the engine has run.
 func (s *ServerSim) Results() []PlayerResult {
+	return s.AppendResults(make([]PlayerResult, 0, len(s.sessions)))
+}
+
+// AppendResults appends every player's summary to dst and returns it, so
+// steady-state callers (the pool, the shard runner) keep one result buffer
+// across runs instead of allocating per node.
+func (s *ServerSim) AppendResults(dst []PlayerResult) []PlayerResult {
 	s.FlushObs()
-	out := make([]PlayerResult, 0, len(s.sessions))
 	for _, ss := range s.sessions {
 		r := PlayerResult{
-			ID:           ss.spec.ID,
-			GameID:       ss.spec.Game.ID,
-			Continuity:   ss.meter.Continuity(),
-			Satisfied:    ss.meter.Satisfied(),
-			FinalLevel:   ss.encoder.Level().Level,
-			LevelChanges: ss.levelMoves,
-			Stalls:       ss.recv.StallCount(),
-			Segments:     ss.delivered,
+			ID:            ss.spec.ID,
+			GameID:        ss.spec.Game.ID,
+			Continuity:    ss.meter.Continuity(),
+			Satisfied:     ss.meter.Satisfied(),
+			FinalLevel:    ss.encoder.Level().Level,
+			LevelChanges:  ss.levelMoves,
+			Stalls:        ss.recv.StallCount(),
+			Segments:      ss.delivered,
+			PacketsOnTime: ss.meter.OnTime(),
+			PacketsTotal:  ss.meter.Total(),
 		}
 		if ss.delivered > 0 {
 			r.MeanLatency = ss.latSum / time.Duration(ss.delivered)
 		}
-		out = append(out, r)
+		dst = append(dst, r)
 	}
-	return out
+	return dst
 }
 
 // Summary aggregates player results.
@@ -621,4 +694,62 @@ func RunNode(opts Options, uplink int64, players []PlayerSpec, duration time.Dur
 	srv.Start()
 	engine.RunUntil(duration)
 	return srv.Results(), nil
+}
+
+// Pool recycles the allocation-heavy state of back-to-back node runs: the
+// engine (event heap and slot arena), the session arena, the session index,
+// the segment pool, and the result slice. A figure that simulates hundreds
+// of serving nodes per sweep point pays the setup allocations once instead
+// of per node. A Pool serves one goroutine; results are bit-identical to
+// RunNode — a reset engine restarts at sequence zero, recycled sessions and
+// segments are overwritten in full before use, and the per-run rng is
+// always fresh.
+type Pool struct {
+	engine   *sim.Engine
+	buf      *sched.Buffer
+	arena    []session
+	ptrs     []*session
+	index    map[int64]*session
+	segsAll  []*stream.Segment
+	segsFree []*stream.Segment
+	results  []PlayerResult
+}
+
+// NewPool returns an empty pool with its own engine.
+func NewPool() *Pool {
+	return &Pool{engine: sim.New(), index: make(map[int64]*session)}
+}
+
+// RunNode is qoe.RunNode against the pool's reusable state. The returned
+// slice is valid until the next RunNode call on this pool; callers that
+// keep results across calls must copy them out.
+func (p *Pool) RunNode(opts Options, uplink int64, players []PlayerSpec, duration time.Duration) ([]PlayerResult, error) {
+	p.engine.Reset()
+	srv, err := newServerSimIn(p.engine, opts, uplink, p.buf)
+	if err != nil {
+		return nil, err
+	}
+	p.buf = srv.buffer
+	if cap(p.arena) < len(players) {
+		p.arena = make([]session, 0, len(players))
+	}
+	srv.sessArena = p.arena[:0]
+	srv.sessions = p.ptrs[:0]
+	clear(p.index)
+	srv.sessionBy = p.index
+	srv.segAll = p.segsAll
+	srv.segPool = append(p.segsFree[:0], p.segsAll...)
+	for _, spec := range players {
+		if err := srv.AddPlayer(spec); err != nil {
+			return nil, err
+		}
+	}
+	srv.Start()
+	p.engine.RunUntil(duration)
+	p.results = srv.AppendResults(p.results[:0])
+	p.arena = srv.sessArena
+	p.ptrs = srv.sessions
+	p.segsAll = srv.segAll
+	p.segsFree = srv.segPool
+	return p.results, nil
 }

@@ -362,3 +362,97 @@ func TestObsFoldsOnce(t *testing.T) {
 		t.Fatalf("Lifecycle does not balance: %d vs %d+%d+%d", gen, del, drop, inflight)
 	}
 }
+
+// TestPoolMatchesRunNode pins the pooled-run equivalence contract: a Pool
+// run is bit-identical to a fresh RunNode, even back-to-back across nodes
+// with different options, loads, and recycled sessions/segments/engine.
+func TestPoolMatchesRunNode(t *testing.T) {
+	pool := NewPool()
+	cases := []struct {
+		opts    Options
+		uplink  int64
+		players int
+		seed    int64
+	}{
+		{DefaultOptions(), 120_000_000, 14, 11},
+		{BasicOptions(), 40_000_000, 25, 12},
+		{DefaultOptions(), 40_000_000, 25, 12}, // same load, strategies on
+		{BasicOptions(), 200_000_000, 3, 13},
+		{DefaultOptions(), 120_000_000, 14, 11}, // repeat of case 0 on a warm pool
+	}
+	for i, c := range cases {
+		opts := c.opts
+		opts.Seed = 1000 + c.seed
+		players := mixedPlayers(t, c.players, c.seed)
+		want, err := RunNode(opts, c.uplink, players, 8*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pool.RunNode(opts, c.uplink, players, 8*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("case %d: pooled results differ\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+// TestHaltFreezesSim verifies Halt: no segments are generated or delivered
+// after the halt point, and queued events decay into no-ops.
+func TestHaltFreezesSim(t *testing.T) {
+	engine := sim.New()
+	opts := DefaultOptions()
+	srv, err := NewServerSim(engine, opts, 120_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range mixedPlayers(t, 8, 21) {
+		if err := srv.AddPlayer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	engine.RunUntil(6 * time.Second)
+	srv.Halt()
+	gen0, del0, drop0, _ := srv.Lifecycle()
+	if gen0 == 0 || del0 == 0 {
+		t.Fatalf("no traffic before halt: gen=%d del=%d", gen0, del0)
+	}
+	engine.RunUntil(12 * time.Second)
+	gen1, del1, drop1, _ := srv.Lifecycle()
+	if gen1 != gen0 || del1 != del0 || drop1 != drop0 {
+		t.Fatalf("tallies moved after Halt: gen %d→%d del %d→%d drop %d→%d",
+			gen0, gen1, del0, del1, drop0, drop1)
+	}
+	if pending := engine.Pending(); pending != 0 {
+		// Stale events fire as no-ops; after a long-enough run-out only
+		// self-rescheduling chains could remain, and Halt cuts those.
+		t.Fatalf("%d events still pending after halted run-out", pending)
+	}
+}
+
+// TestPoolAllocFloor records the satellite alloc floor: a warm pool runs a
+// node with amortized near-zero per-player allocations — the per-run
+// overhead is the sim struct, buffer, rng, and a handful of engine/map
+// internals, regardless of the player count.
+func TestPoolAllocFloor(t *testing.T) {
+	pool := NewPool()
+	opts := DefaultOptions()
+	opts.Seed = 42
+	players := mixedPlayers(t, 30, 31)
+	warm := func() {
+		if _, err := pool.RunNode(opts, 120_000_000, players, 4*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	warm()
+	allocs := testing.AllocsPerRun(5, warm)
+	// Fresh RunNode costs >100 allocs for this load (sessions, components,
+	// engine, results). The warm pool floor: ~10 fixed per run.
+	const floor = 16
+	if allocs > floor {
+		t.Fatalf("warm pool run allocates %.0f, want <= %d", allocs, floor)
+	}
+}

@@ -88,6 +88,11 @@ type Buffer struct {
 	queuedBytes int
 	scratch     dropScratch
 
+	// estFree recycles propagation estimators across Reset cycles so a
+	// pooled buffer stops allocating per player once it has seen its peak
+	// population.
+	estFree []*propEstimator
+
 	// Counters for metrics.
 	enqueued        int64
 	sentSegments    int64
@@ -121,6 +126,51 @@ func NewBuffer(cfg Config, streamCfg stream.Config, bandwidthBits int64) *Buffer
 		maxBytes:  maxBytes,
 		prop:      make(map[int64]*propEstimator),
 	}
+}
+
+// Reset reinitializes the buffer in place for a new run with new
+// parameters, as if freshly built by NewBuffer, while keeping every piece
+// of grown storage: the queue array, the eviction list, the drop scratch,
+// the estimator map's buckets, and the estimators themselves (moved to a
+// freelist and re-dealt as players record propagation samples). A pooled
+// buffer therefore stops allocating once it has seen its peak queue depth
+// and population. Behavior is identical to a fresh buffer: estimators are
+// zeroed before reuse and all counters restart at zero.
+func (b *Buffer) Reset(cfg Config, streamCfg stream.Config, bandwidthBits int64) {
+	if bandwidthBits <= 0 {
+		panic(fmt.Sprintf("sched: non-positive bandwidth %d", bandwidthBits))
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1
+	}
+	if cfg.PropWindow == 0 {
+		cfg.PropWindow = 10
+	}
+	maxBytes := 0
+	if cfg.MaxQueueDelay > 0 {
+		maxBytes = int(float64(bandwidthBits) * cfg.MaxQueueDelay.Seconds() / 8)
+	}
+	for id, est := range b.prop {
+		b.estFree = append(b.estFree, est)
+		delete(b.prop, id)
+	}
+	if b.prop == nil {
+		b.prop = make(map[int64]*propEstimator)
+	}
+	for i := range b.queue {
+		b.queue[i] = nil
+	}
+	b.queue = b.queue[:0]
+	b.head = 0
+	b.ClearEvicted()
+	b.cfg = cfg
+	b.streamCfg = streamCfg
+	b.bandwidth = float64(bandwidthBits)
+	b.nominal = float64(bandwidthBits)
+	b.maxBytes = maxBytes
+	b.queuedBytes = 0
+	b.enqueued, b.sentSegments, b.droppedPackets = 0, 0, 0
+	b.fullyDropped, b.tailDropped, b.deadlineActions = 0, 0, 0
 }
 
 // SetBandwidthScale rescales the uplink to scale × the nominal bandwidth
@@ -199,7 +249,7 @@ func (b *Buffer) Stats() (enqueued, sent, droppedPackets, fullyDropped, repairs 
 func (b *Buffer) RecordPropagation(playerID int64, d time.Duration) {
 	est, ok := b.prop[playerID]
 	if !ok {
-		est = newPropEstimator(b.cfg.PropWindow)
+		est = b.takeEstimator()
 		b.prop[playerID] = est
 	}
 	est.record(d)
@@ -602,6 +652,35 @@ type propEstimator struct {
 
 func newPropEstimator(window int) *propEstimator {
 	return &propEstimator{window: window, samples: make([]time.Duration, window)}
+}
+
+// takeEstimator deals an estimator from the Reset freelist, or allocates
+// the pool's first copies. Recycled estimators are indistinguishable from
+// fresh ones: stale samples are never read before being overwritten because
+// the mean only covers slots written since the reset.
+func (b *Buffer) takeEstimator() *propEstimator {
+	n := len(b.estFree)
+	if n == 0 {
+		return newPropEstimator(b.cfg.PropWindow)
+	}
+	est := b.estFree[n-1]
+	b.estFree[n-1] = nil
+	b.estFree = b.estFree[:n-1]
+	est.reset(b.cfg.PropWindow)
+	return est
+}
+
+// reset rewinds an estimator for a new owner, regrowing the sample window
+// only if the configuration asks for a larger one.
+func (p *propEstimator) reset(window int) {
+	if cap(p.samples) < window {
+		p.samples = make([]time.Duration, window)
+	}
+	p.samples = p.samples[:window]
+	p.window = window
+	p.next = 0
+	p.full = false
+	p.sum = 0
 }
 
 func (p *propEstimator) record(d time.Duration) {

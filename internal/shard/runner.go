@@ -1,0 +1,595 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"cloudfog/internal/core"
+	"cloudfog/internal/fault"
+	"cloudfog/internal/health"
+	"cloudfog/internal/qoe"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/world"
+)
+
+// Config parameterizes a sharded run.
+type Config struct {
+	// Shards is the partition width; 1 runs the identical code path with a
+	// single shard (the bit-identity anchor).
+	Shards int
+	// Seed is the run seed; every shard, epoch, and node stream is split
+	// from it with sim.SplitSeed.
+	Seed int64
+	// Horizon is the total virtual time; Epoch the barrier interval.
+	Horizon time.Duration
+	Epoch   time.Duration
+	// Width, Height bound the world plane the partition covers.
+	Width, Height float64
+	// Detector selects failure detection: ModeOracle synthesizes detection
+	// delays from a pure hash; other modes run a per-shard heartbeat
+	// monitor on the shard's own engine.
+	Detector       health.Mode
+	DetectorConfig health.DetectorConfig
+	// Overload runs the control plane's RelieveOverloaded ladder step at
+	// every barrier (after message application).
+	Overload bool
+	// QoE configures the per-node segment simulations. Warmup is
+	// per-epoch: each epoch is simulated as a fresh session. Seed and
+	// Impair are overridden per (epoch, node).
+	QoE qoe.Options
+	// QoENodeBudget caps how many supernodes run the segment-level QoE
+	// simulation per epoch (0 = no cap). Node selection is a pure hash of
+	// (seed, epoch, node) — partition-invariant — so capped runs stay
+	// bit-identical across shard counts while bounding the data-plane
+	// cost at the million-player scale.
+	QoENodeBudget int
+}
+
+// Sample is one barrier's flow-level census over all players.
+type Sample struct {
+	T         time.Duration
+	Served    int
+	FogServed int
+	Unserved  int
+	Within    int
+}
+
+// Result aggregates a sharded run. Every field is partition-invariant
+// except the two CrossShard counts, which describe the partition itself
+// (how much traffic crossed a boundary) and are reported for the scaling
+// analysis only — they never feed figure bytes.
+type Result struct {
+	Players        int
+	Shards         int
+	Epochs         int
+	Samples        []Sample
+	MeanContinuity float64 // over fog players the sampled node sims covered
+	QoEPlayers     int     // players with segment-level tallies
+	QoENodeRuns    int     // node-epoch simulations executed
+	Kills          int64
+	Recoveries     int64
+	Detections     int64
+	Repairs        int64
+	Lapsed         int64
+	CloudHops      int64 // failovers that left the fog for cloud or edge
+	Moved          int64 // overload-relief migrations
+	PendingEnd     int64 // orphans still awaiting detection at the horizon
+	DetectLatency  time.Duration
+	// CrossShardRepairs counts failovers whose backup landed on a shard
+	// other than the failed node's; CrossShardMigrations counts relief
+	// migrations crossing a boundary. Both depend on the plan.
+	CrossShardRepairs    int64
+	CrossShardMigrations int64
+}
+
+// MeanDetectionLatency returns the mean kill-to-detection latency.
+func (r *Result) MeanDetectionLatency() time.Duration {
+	if r.Detections == 0 {
+		return 0
+	}
+	return r.DetectLatency / time.Duration(r.Detections)
+}
+
+// shardState is one shard's private slice of the data plane.
+type shardState struct {
+	id     int
+	engine *sim.Engine
+	rng    *sim.Rand
+	mon    *health.Monitor
+	pool   *qoe.Pool
+	outbox []Msg
+	seq    int64
+	epoch  int
+	err    error
+}
+
+// Runner executes a sharded run: the control-plane fog advances only at
+// epoch barriers, the shards run their monitors and node simulations in
+// parallel in between.
+type Runner struct {
+	cfg     Config
+	fog     *core.Fog
+	players []*core.Player
+	sched   *fault.Schedule
+	respawn func(id int64) *core.Supernode
+	clk     *Clock
+
+	plan    *Plan
+	ownerOf map[int64]int
+	shards  []*shardState
+
+	playerIdx map[int64]int
+	onTime    []int64 // per-player packet tallies, index-aligned with players
+	total     []int64
+
+	nextEvent int // cursor into sched.Events
+	downPred  map[int64]bool
+	downSince map[int64]time.Duration
+	pending   map[int64][]pendingOrphan
+	future    []Msg // oracle detects beyond the current epoch
+
+	res Result
+}
+
+type pendingOrphan struct {
+	p      *core.Player
+	killAt time.Duration
+}
+
+// NewRunner plans the partition and builds the per-shard machinery. The fog
+// must have been built with the Clock's Now as its time source and have the
+// players already joined; sched may be nil (fault-free). respawn mints
+// fresh supernode instances for recoveries.
+func NewRunner(cfg Config, fog *core.Fog, players []*core.Player, sched *fault.Schedule, respawn func(id int64) *core.Supernode, clk *Clock) *Runner {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = cfg.Horizon
+	}
+	pts := make([]world.Vec2, len(players))
+	for i, p := range players {
+		pts[i] = world.Vec2{X: p.Pos.X, Y: p.Pos.Y}
+	}
+	r := &Runner{
+		cfg:       cfg,
+		fog:       fog,
+		players:   players,
+		sched:     sched,
+		respawn:   respawn,
+		clk:       clk,
+		plan:      NewPlan(cfg.Width, cfg.Height, pts, cfg.Shards),
+		ownerOf:   make(map[int64]int),
+		playerIdx: make(map[int64]int, len(players)),
+		onTime:    make([]int64, len(players)),
+		total:     make([]int64, len(players)),
+		downPred:  make(map[int64]bool),
+		downSince: make(map[int64]time.Duration),
+		pending:   make(map[int64][]pendingOrphan),
+	}
+	for i, p := range players {
+		r.playerIdx[p.ID] = i
+	}
+	// Ownership freezes at t=0 from the cloud's estimated positions, so a
+	// node's heartbeat chain never migrates between engines (its detector
+	// state stays a pure function of the schedule).
+	for _, sn := range fog.Supernodes() {
+		x, y, ok := fog.EstimatedPos(sn.ID)
+		if !ok {
+			x, y = sn.Pos.X, sn.Pos.Y
+		}
+		r.ownerOf[sn.ID] = r.plan.Owner(x, y)
+	}
+	r.shards = make([]*shardState, cfg.Shards)
+	monitored := cfg.Detector != health.ModeOracle
+	var loss func(time.Duration) float64
+	if sched != nil {
+		loss = sched.LossFrac
+	}
+	for i := range r.shards {
+		s := &shardState{
+			id:     i,
+			engine: sim.New(),
+			rng:    sim.NewRand(sim.SplitSeed(cfg.Seed, int64(i))),
+			pool:   qoe.NewPool(),
+		}
+		if monitored {
+			dc := cfg.DetectorConfig
+			dc.Mode = cfg.Detector
+			s.mon = health.NewMonitor(s.engine, dc, loss, nil)
+			s.mon.OnDetect(func(id int64, now time.Duration) {
+				s.outbox = append(s.outbox, Msg{
+					Epoch: s.epoch, At: now, Kind: MsgDetect,
+					Node: id, Shard: s.id, Seq: s.seq,
+				})
+				s.seq++
+			})
+		}
+		r.shards[i] = s
+	}
+	if monitored {
+		// Track in ascending node-ID order so heartbeat chain seq order is
+		// the canonical order on every shard.
+		for _, sn := range fog.Supernodes() {
+			r.shards[r.ownerOf[sn.ID]].mon.Track(sn.ID)
+		}
+		for _, s := range r.shards {
+			s.mon.Start()
+		}
+	}
+	return r
+}
+
+// OwnerOf returns the shard owning a supernode (test hook).
+func (r *Runner) OwnerOf(id int64) int { return r.ownerOf[id] }
+
+// Plan returns the partition plan (test hook).
+func (r *Runner) Plan() *Plan { return r.plan }
+
+// nodeTask is one supernode's segment-simulation slice of an epoch.
+type nodeTask struct {
+	node   int64
+	uplink int64
+	owner  int
+	dur    time.Duration
+	specs  []qoe.PlayerSpec
+	idx    []int // player indices aligned with specs
+}
+
+// Run executes the full horizon and returns the aggregated result.
+func (r *Runner) Run() (Result, error) {
+	epochs := 0
+	for t := time.Duration(0); t < r.cfg.Horizon; t += r.cfg.Epoch {
+		epochs++
+	}
+	r.res.Players = len(r.players)
+	r.res.Shards = r.cfg.Shards
+	r.res.Epochs = epochs
+
+	for e := 0; e < epochs; e++ {
+		t0 := time.Duration(e) * r.cfg.Epoch
+		t1 := t0 + r.cfg.Epoch
+		if t1 > r.cfg.Horizon {
+			t1 = r.cfg.Horizon
+		}
+		killsAt, msgs := r.prologue(e, t0, t1)
+		tasks := r.buildTasks(killsAt, t0, t1)
+		if err := r.runShards(e, t0, t1, tasks); err != nil {
+			return r.res, err
+		}
+		r.barrier(e, t1, msgs)
+	}
+	for _, pend := range r.pending {
+		r.res.PendingEnd += int64(len(pend))
+	}
+	r.summarizeContinuity()
+	return r.res, nil
+}
+
+// prologue routes the epoch's fault events: kills and recoveries are
+// predicted against the down map (the same accept/skip sequence the barrier
+// will apply, so prediction equals truth), monitor shards get the kill and
+// recovery signals scheduled at their exact times, and oracle mode
+// synthesizes each kill's detection message from a pure hash. Wire ops
+// (loss, latency, bandwidth windows) need no routing: they act through the
+// schedule's pure impairment lookups.
+func (r *Runner) prologue(epoch int, t0, t1 time.Duration) (killsAt map[int64]time.Duration, msgs []Msg) {
+	killsAt = make(map[int64]time.Duration)
+	if r.sched == nil {
+		return killsAt, nil
+	}
+	monitored := r.cfg.Detector != health.ModeOracle
+	for ; r.nextEvent < len(r.sched.Events); r.nextEvent++ {
+		ev := r.sched.Events[r.nextEvent]
+		if ev.At > t1 {
+			break
+		}
+		switch ev.Op {
+		case fault.OpKill:
+			if r.downPred[ev.Node] {
+				continue // kill of an already-down node is skipped
+			}
+			r.downPred[ev.Node] = true
+			killsAt[ev.Node] = ev.At
+			msgs = append(msgs, Msg{Epoch: epoch, At: ev.At, Kind: MsgKill, Node: ev.Node, Shard: -1, D: ev.D})
+			if monitored {
+				s := r.shards[r.ownerOf[ev.Node]]
+				node, at := ev.Node, ev.At
+				s.engine.ScheduleAt(at, func() { s.mon.Kill(node) })
+			} else if ev.D > 0 {
+				// Oracle: detection at killAt + hash-drawn delay in (0, D].
+				h := hash64(uint64(r.cfg.Seed) ^ hash64(uint64(ev.Node)) ^ uint64(ev.At))
+				delay := time.Duration(h%uint64(ev.D)) + 1
+				r.future = append(r.future, Msg{At: ev.At + delay, Kind: MsgDetect, Node: ev.Node, Shard: -1})
+			}
+		case fault.OpRecover:
+			if !r.downPred[ev.Node] {
+				continue
+			}
+			r.downPred[ev.Node] = false
+			msgs = append(msgs, Msg{Epoch: epoch, At: ev.At, Kind: MsgRecover, Node: ev.Node, Shard: -1})
+			if monitored {
+				s := r.shards[r.ownerOf[ev.Node]]
+				node, at := ev.Node, ev.At
+				s.engine.ScheduleAt(at, func() { s.mon.Recover(node) })
+			}
+		}
+	}
+	// Oracle detections falling due this epoch join the barrier batch.
+	keep := r.future[:0]
+	for _, m := range r.future {
+		if m.At <= t1 {
+			m.Epoch = epoch
+			msgs = append(msgs, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	r.future = keep
+	return killsAt, msgs
+}
+
+// buildTasks groups the fog-served players by serving supernode (canonical
+// player order) and selects which nodes run the segment simulation this
+// epoch. A node killed mid-epoch serves until its kill time. Cloud- and
+// edge-served players are tracked flow-level only.
+func (r *Runner) buildTasks(killsAt map[int64]time.Duration, t0, t1 time.Duration) []nodeTask {
+	var capOf func(snID int64, startLevel int) int
+	if r.cfg.Overload && r.fog.Overload() != nil {
+		capOf = r.fog.SupernodeLevelCap
+	}
+	byNode := make(map[int64]*nodeTask)
+	order := make([]int64, 0, 64)
+	for i, p := range r.players {
+		a := p.Attached
+		if a.Kind != core.AttachSupernode {
+			continue
+		}
+		t := byNode[a.SN.ID]
+		if t == nil {
+			dur := t1 - t0
+			if killAt, dead := killsAt[a.SN.ID]; dead {
+				dur = killAt - t0
+			}
+			t = &nodeTask{node: a.SN.ID, uplink: a.SN.Uplink, owner: r.ownerOf[a.SN.ID], dur: dur}
+			byNode[a.SN.ID] = t
+			order = append(order, a.SN.ID)
+		}
+		levelCap := 0
+		if capOf != nil {
+			levelCap = capOf(a.SN.ID, p.Game.StartLevel)
+		}
+		t.specs = append(t.specs, qoe.PlayerSpec{
+			ID:           p.ID,
+			Game:         p.Game,
+			Latency:      a.StreamLatency,
+			InboundDelay: a.UpdateLatency,
+			LevelCap:     levelCap,
+		})
+		t.idx = append(t.idx, i)
+	}
+	tasks := make([]nodeTask, 0, len(order))
+	for _, id := range order {
+		t := byNode[id]
+		if t.dur > 0 {
+			tasks = append(tasks, *t)
+		}
+	}
+	if b := r.cfg.QoENodeBudget; b > 0 && len(tasks) > b {
+		// Partition-invariant sample: rank nodes by a pure hash of
+		// (seed, epoch, node) and keep the b smallest.
+		epoch := int64(t0 / r.cfg.Epoch)
+		rank := func(id int64) uint64 {
+			return hash64(uint64(sim.SplitSeed(r.cfg.Seed, epoch)) ^ hash64(uint64(id)))
+		}
+		sortTasksByRank(tasks, rank)
+		tasks = tasks[:b]
+	}
+	return tasks
+}
+
+// runShards executes one epoch's data plane: every shard runs its node
+// simulations (and, in monitor mode, its heartbeat engine) concurrently.
+// Packet tallies land in per-player slots — disjoint across shards because
+// a player is served by exactly one node and a node is owned by exactly one
+// shard — so the merge is race-free integer addition.
+func (r *Runner) runShards(epoch int, t0, t1 time.Duration, tasks []nodeTask) error {
+	var wg sync.WaitGroup
+	for _, s := range r.shards {
+		s.epoch = epoch
+		wg.Add(1)
+		go func(s *shardState) {
+			defer wg.Done()
+			opts := r.cfg.QoE
+			if r.sched != nil {
+				opts.Impair = &offsetImpair{base: r.sched, off: t0}
+			}
+			for _, t := range tasks {
+				if t.owner != s.id {
+					continue
+				}
+				opts.Seed = sim.SplitSeed(sim.SplitSeed(r.cfg.Seed, int64(epoch)), t.node)
+				results, err := s.pool.RunNode(opts, t.uplink, t.specs, t.dur)
+				if err != nil {
+					s.err = err
+					return
+				}
+				for j, pr := range results {
+					i := t.idx[j]
+					r.onTime[i] += pr.PacketsOnTime
+					r.total[i] += pr.PacketsTotal
+				}
+			}
+			if s.mon != nil {
+				s.engine.RunUntil(t1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, s := range r.shards {
+		if s.err != nil {
+			return s.err
+		}
+	}
+	r.res.QoENodeRuns += len(tasks)
+	return nil
+}
+
+// barrier applies the epoch's cross-shard messages to the control plane in
+// canonical order, runs the overload-relief step, advances the clock, and
+// takes the flow-level census. Everything here is serial and ordered by
+// message content alone, so the fog (and its rng stream) evolves
+// identically at any shard count.
+func (r *Runner) barrier(epoch int, t1 time.Duration, msgs []Msg) {
+	for _, s := range r.shards {
+		msgs = append(msgs, s.outbox...)
+		s.outbox = s.outbox[:0]
+	}
+	sortMsgs(msgs)
+	for _, m := range msgs {
+		r.clk.advance(m.At)
+		switch m.Kind {
+		case MsgKill:
+			if _, up := r.fog.Supernode(m.Node); !up {
+				continue
+			}
+			orphans := r.fog.FailSupernode(m.Node)
+			r.res.Kills++
+			if _, down := r.downSince[m.Node]; !down {
+				r.downSince[m.Node] = m.At
+			}
+			for _, p := range orphans {
+				r.pending[m.Node] = append(r.pending[m.Node], pendingOrphan{p: p, killAt: m.At})
+			}
+		case MsgRecover:
+			if _, ok := r.downSince[m.Node]; !ok {
+				continue
+			}
+			delete(r.downSince, m.Node)
+			if r.respawn == nil {
+				continue
+			}
+			sn := r.respawn(m.Node)
+			if sn == nil {
+				continue
+			}
+			if err := r.fog.RegisterSupernode(sn); err != nil {
+				continue
+			}
+			r.res.Recoveries++
+		case MsgDetect:
+			r.res.Detections++
+			if downAt, ok := r.downSince[m.Node]; ok {
+				r.res.DetectLatency += m.At - downAt
+			}
+			pend := r.pending[m.Node]
+			if len(pend) == 0 {
+				continue
+			}
+			delete(r.pending, m.Node)
+			from := r.ownerOf[m.Node]
+			for _, po := range pend {
+				if !r.fog.Failover(po.p) {
+					r.res.Lapsed++
+					continue
+				}
+				r.res.Repairs++
+				switch po.p.Attached.Kind {
+				case core.AttachSupernode:
+					if r.ownerOf[po.p.Attached.SN.ID] != from {
+						r.res.CrossShardRepairs++
+					}
+				case core.AttachCloud, core.AttachEdge:
+					r.res.CloudHops++
+				}
+			}
+		}
+	}
+	r.clk.advance(t1)
+	if r.cfg.Overload && r.fog.Overload() != nil {
+		before := make(map[int64]int64)
+		for _, p := range r.players {
+			if p.Attached.Kind == core.AttachSupernode {
+				before[p.ID] = p.Attached.SN.ID
+			}
+		}
+		moved := r.fog.RelieveOverloaded()
+		r.res.Moved += int64(moved)
+		if moved > 0 {
+			for _, p := range r.players {
+				if p.Attached.Kind != core.AttachSupernode {
+					continue
+				}
+				old, had := before[p.ID]
+				if had && old != p.Attached.SN.ID &&
+					r.ownerOf[old] != r.ownerOf[p.Attached.SN.ID] {
+					r.res.CrossShardMigrations++
+				}
+			}
+		}
+	}
+	served, fogN, uns, within := 0, 0, 0, 0
+	for _, p := range r.players {
+		if !p.Attached.Served() {
+			uns++
+			continue
+		}
+		served++
+		if p.Attached.Kind == core.AttachSupernode {
+			fogN++
+		}
+		if r.fog.NetworkLatency(p) <= p.Game.NetworkBudget() {
+			within++
+		}
+	}
+	r.res.Samples = append(r.res.Samples, Sample{T: t1, Served: served, FogServed: fogN, Unserved: uns, Within: within})
+}
+
+// summarizeContinuity folds the per-player integer tallies into the mean
+// continuity, in canonical player order.
+func (r *Runner) summarizeContinuity() {
+	var sum float64
+	n := 0
+	for i := range r.players {
+		if r.total[i] == 0 {
+			continue
+		}
+		sum += float64(r.onTime[i]) / float64(r.total[i])
+		n++
+	}
+	r.res.QoEPlayers = n
+	if n > 0 {
+		r.res.MeanContinuity = sum / float64(n)
+	}
+}
+
+// offsetImpair shifts an impairment's time origin: node simulations run an
+// epoch in relative time [0, dt), while the schedule's windows live in
+// absolute run time.
+type offsetImpair struct {
+	base qoe.Impairment
+	off  time.Duration
+}
+
+func (o *offsetImpair) ExtraLatency(now time.Duration) time.Duration {
+	return o.base.ExtraLatency(o.off + now)
+}
+func (o *offsetImpair) LossFrac(now time.Duration) float64 {
+	return o.base.LossFrac(o.off + now)
+}
+func (o *offsetImpair) BandwidthScale(now time.Duration) float64 {
+	return o.base.BandwidthScale(o.off + now)
+}
+
+// sortTasksByRank orders tasks by (hash rank, node id) ascending — a strict
+// total order, so the budgeted sample is deterministic.
+func sortTasksByRank(tasks []nodeTask, rank func(int64) uint64) {
+	sort.Slice(tasks, func(a, b int) bool {
+		ra, rb := rank(tasks[a].node), rank(tasks[b].node)
+		if ra != rb {
+			return ra < rb
+		}
+		return tasks[a].node < tasks[b].node
+	})
+}

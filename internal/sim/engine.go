@@ -101,6 +101,29 @@ func New() *Engine {
 // SetStats attaches (or, with nil, detaches) an observability bundle.
 func (e *Engine) SetStats(s *obs.EngineStats) { e.stats = s }
 
+// Reset returns the engine to its post-New state — clock at zero, queue
+// empty, sequence counter rewound — while keeping the heap and slot arena
+// capacity, so back-to-back runs reuse one engine without reallocating.
+// Every slot generation is bumped, invalidating all outstanding Event
+// handles from the previous run. A reset engine behaves bit-identically to
+// a fresh one: scheduling order restarts from sequence zero.
+func (e *Engine) Reset() {
+	e.heap = e.heap[:0]
+	e.free = -1
+	for i := len(e.slots) - 1; i >= 0; i-- {
+		sl := &e.slots[i]
+		sl.fn, sl.pfn, sl.arg = nil, nil, nil
+		sl.canceled = false
+		sl.gen++
+		sl.next = e.free
+		e.free = int32(i)
+	}
+	e.now = 0
+	e.seq = 0
+	e.executed = 0
+	e.stopped = false
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 

@@ -26,6 +26,22 @@ func (r *Rand) Fork() *Rand {
 	return NewRand(r.Int63())
 }
 
+// SplitSeed derives the seed of an independent child stream from a parent
+// seed and a stream index with one splitmix64 round. Unlike Fork it consumes
+// no parent state: the result is a pure function of (seed, stream), so
+// shards, epochs, and per-node streams can be derived in any order — or in
+// parallel — and still agree bit for bit. Nest calls to split along more
+// than one axis, e.g. SplitSeed(SplitSeed(seed, epoch), nodeID).
+func SplitSeed(seed, stream int64) int64 {
+	z := uint64(seed) + (uint64(stream)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Exp draws an exponentially distributed duration with the given rate
 // (events per second). It panics if rate is not positive.
 func (r *Rand) Exp(rate float64) time.Duration {

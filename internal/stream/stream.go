@@ -305,6 +305,12 @@ func (m *ContinuityMeter) Continuity() float64 {
 // Total returns the number of packets recorded.
 func (m *ContinuityMeter) Total() int64 { return m.total }
 
+// OnTime returns the number of packets recorded as on time. Together with
+// Total these are the meter's raw integer tallies: integer addition is
+// associative, so multi-epoch runs can merge per-player continuity exactly
+// however the epochs were executed.
+func (m *ContinuityMeter) OnTime() int64 { return m.onTime }
+
 // SatisfactionThreshold is the paper's satisfied-player bar: a player who
 // receives 95% of game packets within the game's response latency is
 // satisfied.

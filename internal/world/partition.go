@@ -1,6 +1,9 @@
 package world
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // PartitionKD splits the world into 2^depth regions with a kd-tree over the
 // avatar positions, alternating split axes and cutting at the median — the
@@ -8,6 +11,17 @@ import "sort"
 // MMOG clouds use to assign regions of the virtual environment to servers.
 // Regions tile the bounds exactly; each carries its avatar count.
 func PartitionKD(bounds Rect, avatars []Vec2, depth int) []Region {
+	return PartitionKDSnap(bounds, avatars, depth, 0, 0)
+}
+
+// PartitionKDSnap is PartitionKD with every cut snapped to the nearest
+// multiple of snapX (vertical cuts) or snapY (horizontal cuts), both
+// anchored at the plane origin. The shard planner passes the spatial grid's
+// cell dimensions here so partition boundaries land on cell edges and no
+// shortlist cell straddles two shards. A snap of zero leaves that axis
+// unsnapped; a cut is also left unsnapped when its slab is narrower than
+// one cell (no interior multiple exists).
+func PartitionKDSnap(bounds Rect, avatars []Vec2, depth int, snapX, snapY float64) []Region {
 	if depth < 0 {
 		depth = 0
 	}
@@ -37,17 +51,32 @@ func PartitionKD(bounds Rect, avatars []Vec2, depth int) []Region {
 			}
 		case axis == 0:
 			cut = pts[mid].X
+			if pts[0].X == cut {
+				// Every coordinate below the median duplicates it. Contains
+				// is max-exclusive, so cutting at the median would hand the
+				// whole stack to the right child and leave the left region
+				// holding avatars it cannot contain (a zero-load slab).
+				// Advance the cut past the duplicate run instead, keeping
+				// the stack — and a balanced split — on the left.
+				cut = advanceCut(pts, mid, axis)
+			}
 		default:
 			cut = pts[mid].Y
+			if pts[0].Y == cut {
+				cut = advanceCut(pts, mid, axis)
+			}
 		}
-		// Degenerate stacks (all avatars at one coordinate) fall back to a
-		// geometric cut so regions keep positive area.
+		// Out-of-range cuts (duplicate stacks spanning the whole slab, or
+		// median points on the boundary) fall back to a geometric cut so
+		// regions keep positive area.
 		lo, hi := r.Min, r.Max
 		if axis == 0 {
+			cut = snapCut(cut, lo.X, hi.X, snapX)
 			if cut <= lo.X || cut >= hi.X {
 				cut = (lo.X + hi.X) / 2
 			}
 		} else {
+			cut = snapCut(cut, lo.Y, hi.Y, snapY)
 			if cut <= lo.Y || cut >= hi.Y {
 				cut = (lo.Y + hi.Y) / 2
 			}
@@ -73,6 +102,48 @@ func PartitionKD(bounds Rect, avatars []Vec2, depth int) []Region {
 	}
 	split(bounds, pts, depth, 0)
 	return out
+}
+
+// advanceCut returns the first coordinate strictly greater than the median
+// value on the given axis (pts are sorted on that axis), or NaN-free +Inf
+// semantics via the caller's boundary guard when every point shares the
+// value: math.Inf pushes the cut out of range, triggering the geometric
+// fallback.
+func advanceCut(pts []Vec2, mid, axis int) float64 {
+	v := pts[mid].X
+	if axis != 0 {
+		v = pts[mid].Y
+	}
+	for _, p := range pts[mid:] {
+		c := p.X
+		if axis != 0 {
+			c = p.Y
+		}
+		if c > v {
+			return c
+		}
+	}
+	return math.Inf(1)
+}
+
+// snapCut rounds a cut to the nearest origin-anchored multiple of snap that
+// stays strictly inside (lo, hi). When no such multiple exists (the slab is
+// narrower than one snap unit) or snap is zero, the cut is returned as is.
+func snapCut(cut, lo, hi, snap float64) float64 {
+	if snap <= 0 || math.IsInf(cut, 0) {
+		return cut
+	}
+	s := math.Round(cut/snap) * snap
+	if s <= lo {
+		s += snap
+	}
+	if s >= hi {
+		s -= snap
+	}
+	if s <= lo || s >= hi {
+		return cut
+	}
+	return s
 }
 
 // Region is one kd-tree leaf with its avatar load.

@@ -154,6 +154,80 @@ func TestPartitionKDDegenerateStack(t *testing.T) {
 	}
 }
 
+func TestPartitionKDDuplicateCoordinate(t *testing.T) {
+	// A majority of avatars share one coordinate with a few distinct
+	// stragglers. The median lands on the duplicated value; a cut exactly
+	// there would leave the left slab with zero avatars (Contains is
+	// max-exclusive) while a naive count would still bill it for them. The
+	// guarded cut advances past the duplicate run, so both children hold
+	// avatars and every region keeps positive area.
+	bounds := Rect{Min: Vec2{0, 0}, Max: Vec2{10, 10}}
+	pts := []Vec2{{5, 5}, {5, 5}, {5, 5}, {5, 5}, {5, 5}, {5, 5}, {8, 2}, {9, 7}}
+	regions := PartitionKD(bounds, pts, 1)
+	if len(regions) != 2 {
+		t.Fatalf("depth 1 produced %d regions, want 2", len(regions))
+	}
+	total := 0
+	for _, r := range regions {
+		if r.Bounds.Width() <= 0 || r.Bounds.Height() <= 0 {
+			t.Fatalf("degenerate region %+v", r.Bounds)
+		}
+		if r.Avatars == len(pts) {
+			t.Fatalf("one region swallowed all %d avatars: %+v", len(pts), r)
+		}
+		total += r.Avatars
+	}
+	if total != len(pts) {
+		t.Fatalf("lost avatars: %d of %d", total, len(pts))
+	}
+	// Counts must agree with actual containment region by region.
+	for _, r := range regions {
+		in := 0
+		for _, p := range pts {
+			if r.Bounds.Contains(p) {
+				in++
+			}
+		}
+		if in != r.Avatars {
+			t.Fatalf("region %+v bills %d avatars but contains %d", r.Bounds, r.Avatars, in)
+		}
+	}
+}
+
+func TestPartitionKDSnapAlignsCuts(t *testing.T) {
+	rng := sim.NewRand(7)
+	bounds := DefaultConfig().Bounds
+	avatars := clusteredAvatars(rng, 400)
+	const snapX, snapY = 125.0, 250.0
+	regions := PartitionKDSnap(bounds, avatars, 3, snapX, snapY)
+	if len(regions) != 8 {
+		t.Fatalf("depth 3 produced %d regions, want 8", len(regions))
+	}
+	onGrid := func(v, snap float64) bool {
+		q := v / snap
+		return math.Abs(q-math.Round(q)) < 1e-9
+	}
+	total := 0
+	for _, r := range regions {
+		total += r.Avatars
+		// Every interior edge must land on a cell boundary; the outer
+		// bounds are the world edges and stay put.
+		for _, x := range []float64{r.Bounds.Min.X, r.Bounds.Max.X} {
+			if x != bounds.Min.X && x != bounds.Max.X && !onGrid(x, snapX) {
+				t.Fatalf("vertical edge %v not on a %v cell boundary", x, snapX)
+			}
+		}
+		for _, y := range []float64{r.Bounds.Min.Y, r.Bounds.Max.Y} {
+			if y != bounds.Min.Y && y != bounds.Max.Y && !onGrid(y, snapY) {
+				t.Fatalf("horizontal edge %v not on a %v cell boundary", y, snapY)
+			}
+		}
+	}
+	if total != len(avatars) {
+		t.Fatalf("region counts sum to %d, want %d", total, len(avatars))
+	}
+}
+
 func TestAssignRegionsBalances(t *testing.T) {
 	rng := sim.NewRand(3)
 	bounds := DefaultConfig().Bounds
