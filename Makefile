@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-all chaos verify
+.PHONY: build test vet race bench bench-json bench-all chaos wire verify
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,11 @@ race:
 bench:
 	$(GO) run ./cmd/cloudfog-bench
 
-# bench-json records this PR's numbers as BENCH_PR6.json (same schema as
-# BENCH_PR5.json, plus the ShardedRun scaling curve) and prints the
-# recorded-vs-live comparison against the previous PR's file.
+# bench-json records this PR's numbers as BENCH_PR7.json (same schema as
+# BENCH_PR6.json, plus SegmentEncode and the WireSaturation pair) and prints
+# the recorded-vs-live comparison against the previous PR's file.
 bench-json:
-	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR6.json -baseline BENCH_PR5.json
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR7.json -baseline BENCH_PR6.json
 
 # bench-all runs the full per-figure benchmark suite.
 bench-all:
@@ -51,6 +51,16 @@ chaos:
 		-players 1500 -supernodes 100 -shards 4 \
 		-horizon 30s -epoch 10s -detector phi -overload
 
-# verify is the CI gate: static checks, the race-enabled suite, and the
-# chaos smoke.
-verify: vet race chaos
+# wire is the zero-copy wire-path smoke: the live and proto suites under
+# the race detector, a saturation run that fails unless the coalescing
+# counters prove frames were actually batched, and a UDP-transport live run
+# whose detector ledgers must reconcile.
+wire:
+	$(GO) test -race -count=1 ./internal/live/ ./internal/proto/
+	$(GO) run ./cmd/cloudfog-bench -wire-smoke
+	$(GO) run ./cmd/cloudfog-live -players 4 -supernodes 3 -duration 5s \
+		-transport udp -detector phi -heartbeat 200ms -chaos default
+
+# verify is the CI gate: static checks, the race-enabled suite, the chaos
+# smoke, and the wire smoke.
+verify: vet race chaos wire

@@ -117,9 +117,15 @@ func compare(baselinePath string, live map[string]Result) error {
 }
 
 func main() {
-	outPath := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	baseline := flag.String("baseline", "", "recorded results to compare against (e.g. BENCH_PR2.json; empty = no comparison)")
+	smoke := flag.Bool("wire-smoke", false, "run only the coalesced wire transfer and assert batching engaged (CI smoke)")
 	flag.Parse()
+
+	if *smoke {
+		wireSmoke()
+		return
+	}
 
 	results := make(map[string]Result)
 
@@ -315,6 +321,8 @@ func main() {
 			}
 		})
 	}
+
+	registerWireBenches(results)
 
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

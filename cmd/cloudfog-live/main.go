@@ -72,6 +72,7 @@ var (
 	chaosFlag      = flag.String("chaos", "", "chaos mode: fault profile JSON path, or \"default\" for a built-in profile scaled to -duration")
 	detectorFlag   = flag.String("detector", "", "cloud-side failure detector fed by supernode heartbeats: timeout or phi (empty = disabled)")
 	heartbeatFlag  = flag.Duration("heartbeat", 250*time.Millisecond, "supernode heartbeat period when -detector is set")
+	transportFlag  = flag.String("transport", live.TransportTCP, "supernode→player stream transport: tcp (reliable, coalesced writes) or udp (datagrams, stale frames dropped)")
 )
 
 func main() {
@@ -177,6 +178,7 @@ func run() error {
 			ID:             int64(ep.ID),
 			CloudAddr:      cloud.Addr(),
 			Addr:           addr,
+			Transport:      *transportFlag,
 			DelayToCloud:   model.OneWay(ep, dcEP),
 			FPS:            *fpsFlag,
 			HeartbeatEvery: heartbeatEvery,
@@ -283,7 +285,8 @@ func run() error {
 			profile.Name, len(sched.Events), profile.Duration.Duration)
 	}
 
-	fmt.Printf("\nrunning %d players for %v...\n\n", *playersFlag, *durationFlag)
+	fmt.Printf("\nrunning %d players for %v (stream transport %s)...\n\n",
+		*playersFlag, *durationFlag, *transportFlag)
 	var wg sync.WaitGroup
 	reports := make([]live.PlayerReport, *playersFlag)
 	errs := make([]error, *playersFlag)
@@ -319,6 +322,7 @@ func run() error {
 				CloudAddr:       cloud.Addr(),
 				StreamAddr:      snAddrs[snIdx],
 				BackupAddrs:     backups,
+				Transport:       *transportFlag,
 				ActionDelay:     up,
 				ActionEvery:     200 * time.Millisecond,
 				UploadAllowance: up,

@@ -82,6 +82,14 @@ type Cloud struct {
 	detections int64
 	falsePos   int64
 	closed     bool
+	// tickOnce encode arenas (mu-guarded): stamp frames are appended
+	// back-to-back into encScratch with stampOffs marking boundaries, and
+	// each delta is encoded once into deltaScratch. Send copies payloads
+	// synchronously, so the reused storage is safe to share across subs
+	// and ticks.
+	encScratch   []byte
+	stampOffs    []int
+	deltaScratch []byte
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -194,8 +202,9 @@ func (c *Cloud) servePlayer(conn net.Conn, playerID int64) {
 	c.mu.Unlock()
 	proto.WriteFrame(conn, proto.TAck, proto.MarshalAck(proto.Ack{}))
 
+	var rbuf []byte
 	for {
-		typ, payload, err := proto.ReadFrame(conn)
+		typ, payload, err := proto.ReadFrameReuse(conn, &rbuf)
 		if err != nil {
 			return
 		}
@@ -325,7 +334,7 @@ func (c *Cloud) serveDirectStream(conn net.Conn, payload []byte) {
 	if err != nil {
 		lv = g.Quality()
 	}
-	segBytes := int(lv.Bitrate) / c.cfg.DirectFPS / 8
+	segBytes := renderSize(int(lv.Bitrate) / c.cfg.DirectFPS / 8)
 
 	ticker := time.NewTicker(time.Second / time.Duration(c.cfg.DirectFPS))
 	defer ticker.Stop()
@@ -344,10 +353,13 @@ func (c *Cloud) serveDirectStream(conn net.Conn, payload []byte) {
 			Seq:          seq,
 			Level:        uint8(level),
 			ActionIssued: stamp,
-			Payload:      renderPayload(segBytes, nil),
 		}
 		seq++
-		link.Send(proto.TSegment, proto.MarshalSegment(seg))
+		// Render straight into a pooled wire frame (no Marshal copy).
+		frame := link.AcquireFrame(proto.TSegment)
+		frame = proto.AppendSegmentHeader(frame, seg, segBytes)
+		frame = appendRenderPayload(frame, segBytes, nil)
+		link.SendFrame(frame)
 	}
 done:
 	c.mu.Lock()
@@ -424,23 +436,29 @@ func (c *Cloud) tickOnce() {
 	c.w.Step(c.cfg.Tick.Seconds())
 
 	// Ship per-player action stamps, then the delta, to every supernode.
-	var stampFrames [][]byte
+	// Stamp payloads are encoded once into the reused arena; subslices are
+	// safe to hand to every sub because Send copies synchronously.
+	c.encScratch = c.encScratch[:0]
+	c.stampOffs = c.stampOffs[:0]
 	for player, issued := range c.stamps {
-		stampFrames = append(stampFrames, proto.MarshalAction(proto.Action{
+		c.stampOffs = append(c.stampOffs, len(c.encScratch))
+		c.encScratch = proto.AppendAction(c.encScratch, proto.Action{
 			Player: player,
 			Issued: issued,
-		}))
+		})
 	}
+	c.stampOffs = append(c.stampOffs, len(c.encScratch))
 	for player := range c.stamps {
 		delete(c.stamps, player)
 	}
 	minVersion := c.w.Version()
 	for _, sub := range c.subs {
-		for _, f := range stampFrames {
-			sub.link.Send(proto.TAction, f)
+		for i := 0; i+1 < len(c.stampOffs); i++ {
+			sub.link.Send(proto.TAction, c.encScratch[c.stampOffs[i]:c.stampOffs[i+1]])
 		}
 		d := c.w.DeltaSince(sub.version)
-		sub.link.Send(proto.TDelta, proto.MarshalDelta(d))
+		c.deltaScratch = proto.AppendDelta(c.deltaScratch[:0], d)
+		sub.link.Send(proto.TDelta, c.deltaScratch)
 		sub.version = d.ToVersion
 		if sub.version < minVersion {
 			minVersion = sub.version

@@ -33,6 +33,11 @@ type PlayerConfig struct {
 	// (wrapping) when the serving stream dies mid-run — the live analogue
 	// of the fog's backup-failover list.
 	BackupAddrs []string
+	// Transport selects the supernode stream transport: TransportTCP
+	// (default when empty) or TransportUDP. It must match the supernodes'
+	// mode. The action link and the cloud's direct-stream fallback are
+	// always TCP.
+	Transport string
 	// ActionDelay is the injected one-way player→cloud latency.
 	ActionDelay time.Duration
 	// ActionEvery is the input cadence (see DefaultActionEvery).
@@ -65,6 +70,8 @@ func (c PlayerConfig) Validate() error {
 	case c.ViewRadius <= 0:
 		return fmt.Errorf("live: PlayerConfig.ViewRadius %v is not positive (DefaultViewRadius is %v)",
 			c.ViewRadius, DefaultViewRadius)
+	case !validTransport(c.Transport):
+		return fmt.Errorf("live: PlayerConfig.Transport %q is not %q or %q", c.Transport, TransportTCP, TransportUDP)
 	}
 	if _, err := game.ByID(c.GameID); err != nil {
 		return fmt.Errorf("live: PlayerConfig.GameID %d: %w", c.GameID, err)
@@ -139,14 +146,22 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		LevelCap: uint8(g.StartLevel),
 	}
 	addrs := append([]string{cfg.StreamAddr}, cfg.BackupAddrs...)
-	subscribe := func(addr string, timeout time.Duration) (net.Conn, error) {
+	// The join frame is encoded once: the TCP path writes it as the
+	// connection's first frame, the datagram path re-sends the identical
+	// bytes as its keepalive beacon.
+	joinFrame := proto.AppendFrame(nil, proto.TJoinStream, proto.MarshalJoinStream(join))
+	dgramMode := cfg.Transport == TransportUDP
+	subscribe := func(addr string, timeout time.Duration, dgram bool) (net.Conn, error) {
+		if dgram {
+			return subscribeDatagram(addr, joinFrame, timeout)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		conn, err := dialBackoff(ctx, addr, cfg.ID)
 		cancel()
 		if err != nil {
 			return nil, err
 		}
-		if err := proto.WriteFrame(conn, proto.TJoinStream, proto.MarshalJoinStream(join)); err != nil {
+		if _, err := conn.Write(joinFrame); err != nil {
 			conn.Close()
 			return nil, err
 		}
@@ -168,10 +183,11 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 
 	addrIdx := 0
 	var strConn net.Conn
+	strDgram := false
 	for i := range addrs {
-		conn, serr := subscribe(addrs[i], dialDeadline)
+		conn, serr := subscribe(addrs[i], dialDeadline, dgramMode)
 		if serr == nil {
-			strConn, addrIdx = conn, i
+			strConn, addrIdx, strDgram = conn, i, dgramMode
 			break
 		}
 		report.FailoverErrors = append(report.FailoverErrors,
@@ -180,8 +196,8 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	}
 	if strConn == nil {
 		// Every supernode refused before the session even began: stream
-		// straight from the cloud as the last resort.
-		conn, cerr := subscribe(cfg.CloudAddr, dialDeadline)
+		// straight from the cloud as the last resort (always TCP).
+		conn, cerr := subscribe(cfg.CloudAddr, dialDeadline, false)
 		if cerr != nil {
 			report.FailoverErrors = append(report.FailoverErrors,
 				fmt.Sprintf("%s (cloud): %v", cfg.CloudAddr, cerr))
@@ -228,24 +244,45 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	// Segment receiver. A mid-run stream death fails over through the
 	// backup ring with short per-candidate dials, then to the cloud's
 	// direct stream; the session only ends early when even the cloud
-	// refuses.
+	// refuses. Datagram streams have no connection to die, so liveness is
+	// explicit: short read deadlines drive periodic keepalive re-joins
+	// (which also silently re-register after a supernode respawn), and
+	// silence past udpStaleAfter is treated as stream death.
 	deadline := time.Now().Add(duration)
-	strConn.SetReadDeadline(deadline.Add(2 * time.Second))
+	if !strDgram {
+		strConn.SetReadDeadline(deadline.Add(2 * time.Second))
+	}
+	var rbuf []byte
+	lastRecv := time.Now()
+	lastKA := time.Now()
 	for time.Now().Before(deadline) {
-		typ, payload, err := proto.ReadFrame(strConn)
+		if strDgram {
+			strConn.SetReadDeadline(time.Now().Add(udpKeepaliveEvery))
+		}
+		typ, payload, err := readStreamFrame(strConn, strDgram, &rbuf)
 		if err != nil {
 			if !time.Now().Before(deadline) {
 				break
 			}
+			if strDgram {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() && time.Since(lastRecv) < udpStaleAfter {
+					// Quiet but not dead yet: beacon a re-join and keep
+					// listening.
+					strConn.Write(joinFrame)
+					lastKA = time.Now()
+					continue
+				}
+			}
 			strConn.Close()
 			var next net.Conn
+			nextDgram := false
 			fromCloud := false
 			for i := 1; i <= len(addrs) && next == nil; i++ {
 				if !time.Now().Before(deadline) {
 					break
 				}
 				cand := addrs[(addrIdx+i)%len(addrs)]
-				conn, serr := subscribe(cand, failoverDialDeadline)
+				conn, serr := subscribe(cand, failoverDialDeadline, dgramMode)
 				if serr != nil {
 					mu.Lock()
 					report.FailoverErrors = append(report.FailoverErrors,
@@ -254,11 +291,12 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 					continue
 				}
 				next = conn
+				nextDgram = dgramMode
 				addrIdx = (addrIdx + i) % len(addrs)
 			}
 			if next == nil && time.Now().Before(deadline) {
 				// Whole ring down: stream straight from the cloud.
-				conn, cerr := subscribe(cfg.CloudAddr, dialDeadline)
+				conn, cerr := subscribe(cfg.CloudAddr, dialDeadline, false)
 				if cerr != nil {
 					mu.Lock()
 					report.FailoverErrors = append(report.FailoverErrors,
@@ -272,8 +310,12 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 			if next == nil {
 				break
 			}
-			strConn = next
-			strConn.SetReadDeadline(deadline.Add(2 * time.Second))
+			strConn, strDgram = next, nextDgram
+			if !strDgram {
+				strConn.SetReadDeadline(deadline.Add(2 * time.Second))
+			}
+			lastRecv = time.Now()
+			lastKA = lastRecv
 			mu.Lock()
 			report.Failovers++
 			if fromCloud {
@@ -282,11 +324,21 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 			mu.Unlock()
 			continue
 		}
+		lastRecv = time.Now()
+		if strDgram && lastRecv.Sub(lastKA) >= udpKeepaliveEvery {
+			// Segments flowing doesn't refresh the supernode's liveness
+			// record — only joins do — so beacon on a timer regardless.
+			strConn.Write(joinFrame)
+			lastKA = lastRecv
+		}
 		if typ != proto.TSegment {
 			continue
 		}
-		seg, err := proto.UnmarshalSegment(payload)
-		if err != nil {
+		// seg.Payload borrows the read buffer (no copy on the receive hot
+		// path); only its length is read before the next frame overwrites
+		// it.
+		var seg proto.Segment
+		if proto.UnmarshalSegmentInto(payload, &seg) != nil {
 			continue
 		}
 		mu.Lock()
@@ -326,4 +378,76 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		report.WithinBudget = float64(within) / float64(len(responses))
 	}
 	return report, nil
+}
+
+// readStreamFrame reads one frame from a stream or datagram connection into
+// the caller's reuse buffer. The returned payload aliases *buf and is valid
+// only until the next call.
+func readStreamFrame(conn net.Conn, dgram bool, buf *[]byte) (proto.MsgType, []byte, error) {
+	if !dgram {
+		return proto.ReadFrameReuse(conn, buf)
+	}
+	if cap(*buf) < proto.FrameHeaderLen+proto.MaxDatagram {
+		*buf = make([]byte, proto.FrameHeaderLen+proto.MaxDatagram)
+	}
+	b := (*buf)[:cap(*buf)]
+	n, err := conn.Read(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return proto.ParseDatagram(b[:n])
+}
+
+// subscribeDatagram joins a datagram supernode stream: it sends the join
+// frame and retries on short read deadlines until the supernode acks (joins
+// and acks are datagrams — either can be lost). A non-zero ack code is a
+// rejection; anything else keeps retrying until timeout.
+func subscribeDatagram(addr string, joinFrame []byte, timeout time.Duration) (net.Conn, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, proto.FrameHeaderLen+proto.MaxDatagram)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Write(joinFrame); err != nil {
+			// A dead target surfaces as ECONNREFUSED on a connected UDP
+			// socket; keep beaconing until the deadline in case it comes
+			// back (supernode respawn during failover).
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		n, rerr := conn.Read(buf)
+		if rerr != nil {
+			if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+				continue // join or ack datagram lost: re-send
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		typ, payload, perr := proto.ParseDatagram(buf[:n])
+		if perr != nil {
+			continue
+		}
+		switch typ {
+		case proto.TAck:
+			ack, aerr := proto.UnmarshalAck(payload)
+			if aerr != nil {
+				continue
+			}
+			if ack.Code != 0 {
+				conn.Close()
+				return nil, fmt.Errorf("live: supernode %s rejected join (code %d)", addr, ack.Code)
+			}
+			conn.SetReadDeadline(time.Time{})
+			return conn, nil
+		case proto.TSegment:
+			// A segment beat the ack here: the subscription is live.
+			conn.SetReadDeadline(time.Time{})
+			return conn, nil
+		}
+	}
+	conn.Close()
+	return nil, fmt.Errorf("live: supernode %s: datagram join timed out after %v", addr, timeout)
 }

@@ -13,6 +13,33 @@ import (
 	"cloudfog/internal/world"
 )
 
+// Transport mode names for SupernodeConfig.Transport and
+// PlayerConfig.Transport. TCP is the reliable stream default; UDP streams
+// segments as datagrams — stale frames are dropped by the network instead
+// of head-of-line blocking behind retransmits (the paper's Eq. 14 dropping
+// policy happening naturally).
+const (
+	TransportTCP = "tcp"
+	TransportUDP = "udp"
+)
+
+const (
+	// udpExpiry is how long a supernode keeps a datagram player without
+	// hearing a keepalive re-join before reclaiming the stream.
+	udpExpiry = 2 * time.Second
+	// udpKeepaliveEvery is the player-side re-join beacon period; it also
+	// silently re-registers the player after a supernode respawn.
+	udpKeepaliveEvery = 500 * time.Millisecond
+	// udpStaleAfter is how long a datagram player tolerates stream silence
+	// (re-sending joins meanwhile) before declaring the stream dead and
+	// entering the failover path.
+	udpStaleAfter = 1600 * time.Millisecond
+)
+
+func validTransport(t string) bool {
+	return t == "" || t == TransportTCP || t == TransportUDP
+}
+
 // SupernodeConfig parameterizes a live fog supernode. Validate rejects
 // incomplete configurations instead of papering over them with defaults.
 type SupernodeConfig struct {
@@ -23,6 +50,9 @@ type SupernodeConfig struct {
 	// Addr is the player-facing listen address ("127.0.0.1:0" for an
 	// ephemeral port).
 	Addr string
+	// Transport selects the player-facing stream transport: TransportTCP
+	// (default when empty) or TransportUDP. The cloud link is always TCP.
+	Transport string
 	// DelayToCloud is injected on the supernode's outbound hello/keepalive
 	// path; the cloud injects the update-path delay via its own DelayFor.
 	DelayToCloud time.Duration
@@ -53,6 +83,8 @@ func (c SupernodeConfig) Validate() error {
 		return fmt.Errorf("live: SupernodeConfig.FPS %d is not positive", c.FPS)
 	case c.HeartbeatEvery < 0:
 		return fmt.Errorf("live: SupernodeConfig.HeartbeatEvery %v is negative", c.HeartbeatEvery)
+	case !validTransport(c.Transport):
+		return fmt.Errorf("live: SupernodeConfig.Transport %q is not %q or %q", c.Transport, TransportTCP, TransportUDP)
 	}
 	return nil
 }
@@ -64,7 +96,8 @@ type Supernode struct {
 	cfg SupernodeConfig
 
 	cloudLink *Link
-	ln        net.Listener
+	ln        net.Listener // TCP player transport (nil in UDP mode)
+	udp       *net.UDPConn // UDP player transport (nil in TCP mode)
 
 	mu      sync.Mutex
 	replica *world.Replica
@@ -84,10 +117,15 @@ type Supernode struct {
 }
 
 type playerStream struct {
-	link *Link
+	link Transport
 	join proto.JoinStream
 	g    game.Game
 	seq  int64
+	// Datagram-mode liveness: source address of the join and the last time
+	// a keepalive re-join refreshed it (zero for TCP streams, whose death
+	// is detected by the connection read).
+	raddr    string
+	lastSeen time.Time
 }
 
 // StartSupernode launches the supernode described by cfg: it dials the
@@ -112,15 +150,31 @@ func StartSupernode(cfg SupernodeConfig) (*Supernode, error) {
 		return nil, fmt.Errorf("live: hello to cloud failed")
 	}
 
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		cloudLink.Close()
-		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
+	var (
+		ln  net.Listener
+		udp *net.UDPConn
+	)
+	if cfg.Transport == TransportUDP {
+		uaddr, uerr := net.ResolveUDPAddr("udp", cfg.Addr)
+		if uerr == nil {
+			udp, uerr = net.ListenUDP("udp", uaddr)
+		}
+		if uerr != nil {
+			cloudLink.Close()
+			return nil, fmt.Errorf("live: listen udp %s: %w", cfg.Addr, uerr)
+		}
+	} else {
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			cloudLink.Close()
+			return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
+		}
 	}
 	sn := &Supernode{
 		cfg:       cfg,
 		cloudLink: cloudLink,
 		ln:        ln,
+		udp:       udp,
 		replica:   world.NewReplica(),
 		stamps:    make(map[int64]time.Duration),
 		players:   make(map[int64]*playerStream),
@@ -128,7 +182,11 @@ func StartSupernode(cfg SupernodeConfig) (*Supernode, error) {
 	}
 	sn.wg.Add(3)
 	go sn.consumeUpdates()
-	go sn.accept()
+	if udp != nil {
+		go sn.serveUDP()
+	} else {
+		go sn.accept()
+	}
 	go sn.renderLoop()
 	if cfg.HeartbeatEvery > 0 {
 		sn.wg.Add(1)
@@ -158,7 +216,12 @@ func (sn *Supernode) heartbeatLoop() {
 }
 
 // Addr returns the supernode's player-facing listen address.
-func (sn *Supernode) Addr() string { return sn.ln.Addr().String() }
+func (sn *Supernode) Addr() string {
+	if sn.udp != nil {
+		return sn.udp.LocalAddr().String()
+	}
+	return sn.ln.Addr().String()
+}
 
 // ReplicaVersion returns the replica's current world version.
 func (sn *Supernode) ReplicaVersion() uint64 {
@@ -224,6 +287,77 @@ func (sn *Supernode) accept() {
 		sn.wg.Add(1)
 		go sn.servePlayer(conn)
 	}
+}
+
+// serveUDP demuxes the shared datagram socket: every inbound datagram is a
+// complete frame, and the only frame players send here is TJoinStream —
+// both the initial subscription and the periodic keepalive re-join.
+func (sn *Supernode) serveUDP() {
+	defer sn.wg.Done()
+	buf := make([]byte, proto.FrameHeaderLen+proto.MaxDatagram)
+	for {
+		n, raddr, err := sn.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		typ, payload, perr := proto.ParseDatagram(buf[:n])
+		if perr != nil || typ != proto.TJoinStream {
+			continue
+		}
+		sn.joinDatagram(raddr, payload)
+	}
+}
+
+// joinDatagram registers (or refreshes) a datagram player stream. The join
+// doubles as the liveness keepalive: a re-join from the same source address
+// refreshes lastSeen, one from a new address replaces the stream (the
+// player respawned), and silence past udpExpiry reclaims it.
+func (sn *Supernode) joinDatagram(raddr *net.UDPAddr, payload []byte) {
+	join, err := proto.UnmarshalJoinStream(payload)
+	if err != nil {
+		return
+	}
+	g, err := game.ByID(int(join.GameID))
+	if err != nil {
+		// Reject without setting up a stream.
+		sn.udp.WriteToUDP(proto.AppendFrame(nil, proto.TAck, proto.MarshalAck(proto.Ack{Code: 1})), raddr)
+		return
+	}
+	addr := raddr.String()
+	now := time.Now()
+	var replaced Transport
+	sn.mu.Lock()
+	if sn.closed {
+		sn.mu.Unlock()
+		return
+	}
+	if ps, ok := sn.players[join.Player]; ok {
+		if ps.raddr == addr {
+			ps.lastSeen = now
+			link := ps.link
+			sn.mu.Unlock()
+			link.Send(proto.TAck, proto.MarshalAck(proto.Ack{}))
+			return
+		}
+		delete(sn.players, join.Player)
+		replaced = ps.link
+	}
+	var delay time.Duration
+	if sn.cfg.DelayFor != nil {
+		delay = sn.cfg.DelayFor(join.Player)
+	}
+	var stats *obs.LinkStats
+	if sn.cfg.Obs != nil {
+		stats = obs.LinkStatsIn(sn.cfg.Obs, fmt.Sprintf("sn%d_to_p%d", sn.cfg.ID, join.Player))
+	}
+	link := NewDatagramLink(&addrConn{sock: sn.udp, raddr: raddr}, LinkOptions{Delay: delay, Stats: stats})
+	link.Impair(sn.impExtra, sn.impLoss)
+	sn.players[join.Player] = &playerStream{link: link, join: join, g: g, raddr: addr, lastSeen: now}
+	sn.mu.Unlock()
+	if replaced != nil {
+		replaced.Close()
+	}
+	link.Send(proto.TAck, proto.MarshalAck(proto.Ack{}))
 }
 
 // servePlayer registers a player's stream subscription. Segments are pushed
@@ -303,52 +437,73 @@ func (sn *Supernode) renderLoop() {
 	segBytes := func(g game.Game) int {
 		return int(g.Quality().Bitrate) / sn.cfg.FPS / 8
 	}
+	var expired []*playerStream
 	for {
 		select {
 		case <-sn.stop:
 			return
 		case <-ticker.C:
+			now := time.Now()
+			expired = expired[:0]
 			sn.mu.Lock()
 			for pid, ps := range sn.players {
+				if sn.udp != nil && now.Sub(ps.lastSeen) > udpExpiry {
+					// Datagram player went silent: reclaim the stream.
+					delete(sn.players, pid)
+					expired = append(expired, ps)
+					continue
+				}
 				center := world.Vec2{X: ps.join.ViewX, Y: ps.join.ViewY}
 				// Follow the player's avatar once it exists in the replica.
 				if av, ok := sn.replica.Avatar(pid); ok {
 					center = av.Pos
 				}
 				visible := sn.replica.Visible(world.Viewport{Center: center, Radius: ps.join.ViewR})
-				payload := renderPayload(segBytes(ps.g), visible)
+				n := renderSize(segBytes(ps.g))
 				seg := proto.Segment{
 					Player:       pid,
 					Seq:          ps.seq,
 					Level:        uint8(ps.g.StartLevel),
 					ActionIssued: sn.stamps[pid],
-					Payload:      payload,
 				}
 				ps.seq++
-				ps.link.Send(proto.TSegment, proto.MarshalSegment(seg))
+				// Render straight into a pooled wire frame: header, segment
+				// fields, then the payload bytes in place — no Marshal copy.
+				frame := ps.link.AcquireFrame(proto.TSegment)
+				frame = proto.AppendSegmentHeader(frame, seg, n)
+				frame = appendRenderPayload(frame, n, visible)
+				ps.link.SendFrame(frame)
 			}
 			sn.mu.Unlock()
+			for _, ps := range expired {
+				ps.link.Close()
+			}
 		}
 	}
 }
 
-// renderPayload produces the segment bytes: a deterministic pattern seeded
-// by the visible entities (stand-in for encoded video — the sizes and
-// timing are what matter).
-func renderPayload(n int, visible []world.Entity) []byte {
+// renderSize floors a segment's byte size (a degenerate ladder level still
+// produces a non-empty frame).
+func renderSize(n int) int {
 	if n < 16 {
-		n = 16
+		return 16
 	}
-	p := make([]byte, n)
+	return n
+}
+
+// appendRenderPayload appends n segment bytes to dst: a deterministic
+// pattern seeded by the visible entities (stand-in for encoded video — the
+// sizes and timing are what matter).
+func appendRenderPayload(dst []byte, n int, visible []world.Entity) []byte {
 	h := uint64(len(visible) + 1)
 	for _, e := range visible {
 		h = h*1099511628211 + uint64(e.ID)
 	}
-	for i := range p {
+	for i := 0; i < n; i++ {
 		h = h*6364136223846793005 + 1442695040888963407
-		p[i] = byte(h >> 56)
+		dst = append(dst, byte(h>>56))
 	}
-	return p
+	return dst
 }
 
 // Close shuts the supernode down.
@@ -366,7 +521,12 @@ func (sn *Supernode) Close() {
 	sn.mu.Unlock()
 
 	close(sn.stop)
-	sn.ln.Close()
+	if sn.ln != nil {
+		sn.ln.Close()
+	}
+	if sn.udp != nil {
+		sn.udp.Close()
+	}
 	sn.cloudLink.Close()
 	for _, ps := range players {
 		ps.link.Close()

@@ -374,15 +374,20 @@ func HealthStatsIn(r *Registry) *HealthStats {
 	}
 }
 
-// LinkStats instruments one live TCP link: frames and bytes each way, frames
-// shed by a congested send queue, and the sender-side holding delay (queue
-// wait plus injected propagation) actually experienced by each frame.
+// LinkStats instruments one live wire link (TCP stream or UDP datagram):
+// frames and bytes each way, frames shed by a congested send queue or the
+// loss process, the sender-side holding delay (queue wait plus injected
+// propagation) actually experienced by each frame, and the coalescing
+// writer's batching activity (frames folded into multi-frame writes, and
+// the number of such writes).
 type LinkStats struct {
 	SentFrames    *Counter
 	SentBytes     *Counter
 	DroppedFrames *Counter
 	RecvFrames    *Counter
 	RecvBytes     *Counter
+	BatchedFrames *Counter
+	BatchWrites   *Counter
 	SendDelayNs   *Histogram
 }
 
@@ -396,6 +401,8 @@ func LinkStatsIn(r *Registry, link string) *LinkStats {
 		DroppedFrames: r.Counter("cloudfog_link_dropped_frames_total"+lbl, "frames shed by a full send queue"),
 		RecvFrames:    r.Counter("cloudfog_link_recv_frames_total"+lbl, "frames read from the wire"),
 		RecvBytes:     r.Counter("cloudfog_link_recv_bytes_total"+lbl, "payload bytes read from the wire"),
+		BatchedFrames: r.Counter("cloudfog_link_batched_frames_total"+lbl, "frames written as part of a coalesced multi-frame batch"),
+		BatchWrites:   r.Counter("cloudfog_link_batch_writes_total"+lbl, "coalesced multi-frame writes (one writev per batch)"),
 		SendDelayNs:   r.Histogram("cloudfog_link_send_delay_ns"+lbl, "sender-side frame holding delay (queue wait + injected propagation)", LatencyBucketsNs()),
 	}
 }

@@ -61,6 +61,62 @@ func FuzzDecodeSegment(f *testing.F) {
 	})
 }
 
+// FuzzAppendMatchesMarshal drives the pooled Append* encoders against the
+// allocating Marshal* forms with fuzzed fields and prefixes: appending into
+// a dirty buffer must yield exactly prefix + Marshal bytes, and the split
+// segment encode (header then raw payload) must match the one-shot form.
+func FuzzAppendMatchesMarshal(f *testing.F) {
+	f.Add([]byte("prefix"), int64(1), int64(2), uint8(3), int64(4), []byte("payload"))
+	f.Add([]byte{}, int64(-1), int64(0), uint8(0), int64(-9), []byte{})
+	f.Fuzz(func(t *testing.T, prefix []byte, player, seq int64, level uint8, issued int64, payload []byte) {
+		check := func(name string, appended, marshaled []byte) {
+			t.Helper()
+			if !bytes.Equal(appended[:len(prefix)], prefix) {
+				t.Fatalf("%s: prefix clobbered", name)
+			}
+			if !bytes.Equal(appended[len(prefix):], marshaled) {
+				t.Fatalf("%s: appended bytes diverge from marshaled", name)
+			}
+		}
+		pfx := func() []byte { return append([]byte(nil), prefix...) }
+
+		s := Segment{Player: player, Seq: seq, Level: level % 8,
+			ActionIssued: time.Duration(issued), Payload: payload}
+		check("segment", AppendSegment(pfx(), s), MarshalSegment(s))
+		split := AppendSegmentHeader(pfx(), s, len(payload))
+		check("segment-split", append(split, payload...), MarshalSegment(s))
+
+		a := Action{Player: player, Issued: time.Duration(issued),
+			Act: world.Action{Player: player, Kind: world.ActionKind(level % 3),
+				Target: world.Vec2{X: float64(seq), Y: float64(issued)}, Victim: world.EntityID(seq)}}
+		check("action", AppendAction(pfx(), a), MarshalAction(a))
+
+		d := world.Delta{FromVersion: uint64(player), ToVersion: uint64(seq),
+			Updated: []world.Entity{{ID: world.EntityID(seq), Kind: world.KindAvatar,
+				Owner: player, HP: int32(level), Version: uint64(seq)}},
+			Removed: []world.EntityID{world.EntityID(issued)}}
+		check("delta", AppendDelta(pfx(), d), MarshalDelta(d))
+
+		j := JoinStream{Player: player, GameID: int32(level % 8), ViewX: float64(seq),
+			ViewY: float64(issued), ViewR: 100, LevelCap: level}
+		check("join", AppendJoinStream(pfx(), j), MarshalJoinStream(j))
+
+		check("hello", AppendHello(pfx(), Hello{Role: Role(level), ID: player}),
+			MarshalHello(Hello{Role: Role(level), ID: player}))
+		check("heartbeat", AppendHeartbeat(pfx(), Heartbeat{ID: player, Seq: uint64(seq)}),
+			MarshalHeartbeat(Heartbeat{ID: player, Seq: uint64(seq)}))
+		check("ack", AppendAck(pfx(), Ack{Code: uint32(seq)}), MarshalAck(Ack{Code: uint32(seq)}))
+
+		// Encode-in-place framing must agree with the one-shot AppendFrame.
+		inPlace := BeginFrame(pfx(), TSegment)
+		inPlace = AppendSegment(inPlace, s)
+		if err := FinishFrame(inPlace, len(prefix)); err != nil {
+			t.Fatalf("FinishFrame: %v", err)
+		}
+		check("frame", inPlace, AppendFrame(nil, TSegment, MarshalSegment(s)))
+	})
+}
+
 func FuzzDecodeFrame(f *testing.F) {
 	var buf bytes.Buffer
 	WriteFrame(&buf, TSegment, []byte("payload"))

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"cloudfog/internal/world"
@@ -46,12 +47,20 @@ const (
 // MaxFrame bounds frame payloads (16 MiB) against corrupt length headers.
 const MaxFrame = 16 << 20
 
+// FrameHeaderLen is the fixed frame header size: 1 type byte plus a 4-byte
+// big-endian payload length.
+const FrameHeaderLen = 5
+
+// MaxDatagram is the largest whole frame (header included) that fits in one
+// UDP datagram (the IPv4 maximum UDP payload).
+const MaxDatagram = 65507
+
 // WriteFrame writes one framed message.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("proto: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [5]byte
+	var hdr [FrameHeaderLen]byte
 	hdr[0] = byte(t)
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -61,9 +70,43 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one framed message.
+// AppendFrame appends one complete frame (header plus payload) to dst and
+// returns the extended slice. A sequence of AppendFrame calls into one
+// buffer produces the exact byte stream a sequence of WriteFrame calls
+// would, so coalesced batches decode with the ordinary ReadFrame loop.
+func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
+	dst = append(dst, byte(t))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// BeginFrame appends a frame header for t with a zero payload length to dst.
+// Append the payload with the Append* marshalers, then patch the length with
+// FinishFrame. The header starts at the returned slice's len(dst) offset.
+func BeginFrame(dst []byte, t MsgType) []byte {
+	return append(dst, byte(t), 0, 0, 0, 0)
+}
+
+// FinishFrame patches the payload length of the frame whose header starts
+// at hdrOff in b, after the payload has been appended in place. It reports
+// an error (leaving b unusable for the wire) when the frame is malformed or
+// the payload exceeds MaxFrame.
+func FinishFrame(b []byte, hdrOff int) error {
+	if hdrOff < 0 || hdrOff+FrameHeaderLen > len(b) {
+		return fmt.Errorf("proto: FinishFrame header offset %d out of range", hdrOff)
+	}
+	n := len(b) - hdrOff - FrameHeaderLen
+	if n > MaxFrame {
+		return fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(b[hdrOff+1:], uint32(n))
+	return nil
+}
+
+// ReadFrame reads one framed message. The returned payload is freshly
+// allocated and owned by the caller; hot paths should prefer ReadFrameReuse.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
-	var hdr [5]byte
+	var hdr [FrameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -78,19 +121,95 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	return MsgType(hdr[0]), payload, nil
 }
 
-// buffer is a simple append/consume byte cursor.
+// ReadFrameReuse is ReadFrame reading the payload into *buf (grown as
+// needed) instead of allocating. The returned payload aliases *buf and is
+// valid only until the next call that reuses the same buffer; decode or
+// copy it out before reading again.
+func ReadFrameReuse(r io.Reader, buf *[]byte) (MsgType, []byte, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("proto: frame length %d exceeds limit", n)
+	}
+	b := *buf
+	if cap(b) < n {
+		b = make([]byte, n)
+		*buf = b
+	}
+	b = b[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[0]), b, nil
+}
+
+// ParseDatagram interprets one datagram as exactly one frame (header plus
+// payload — the datagram transport's unit). The returned payload aliases p.
+func ParseDatagram(p []byte) (MsgType, []byte, error) {
+	if len(p) < FrameHeaderLen {
+		return 0, nil, fmt.Errorf("proto: datagram of %d bytes is shorter than a frame header", len(p))
+	}
+	n := int(binary.BigEndian.Uint32(p[1:]))
+	if n != len(p)-FrameHeaderLen {
+		return 0, nil, fmt.Errorf("proto: datagram payload length %d does not match frame length %d",
+			len(p)-FrameHeaderLen, n)
+	}
+	return MsgType(p[0]), p[FrameHeaderLen:], nil
+}
+
+// BufferPool recycles payload and frame buffers across encodes and decodes.
+// The zero value is ready to use. Buffers above maxPooledBuf are dropped on
+// Put so one giant frame cannot pin memory for the pool's lifetime.
+type BufferPool struct {
+	p sync.Pool
+}
+
+// maxPooledBuf bounds the capacity of buffers the pool retains.
+const maxPooledBuf = 1 << 20
+
+// Get returns a zero-length buffer with at least capHint capacity.
+func (bp *BufferPool) Get(capHint int) []byte {
+	if v := bp.p.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= capHint {
+			return b[:0]
+		}
+	}
+	if capHint < 512 {
+		capHint = 512
+	}
+	return make([]byte, 0, capHint)
+}
+
+// Put returns a buffer to the pool. The caller must not use b afterward.
+func (bp *BufferPool) Put(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bp.p.Put(&b)
+}
+
+// Append-side primitives: each writes one big-endian field and returns the
+// extended slice, so the Append* marshalers compose with zero allocations
+// into caller-supplied (typically pooled) storage.
+
+func appendU8(dst []byte, v uint8) []byte   { return append(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte  { return appendU64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+// buffer is a simple consume-side byte cursor.
 type buffer struct {
 	b   []byte
 	off int
 	err error
-}
-
-func (b *buffer) u8(v uint8)   { b.b = append(b.b, v) }
-func (b *buffer) u32(v uint32) { b.b = binary.BigEndian.AppendUint32(b.b, v) }
-func (b *buffer) u64(v uint64) { b.b = binary.BigEndian.AppendUint64(b.b, v) }
-func (b *buffer) i64(v int64)  { b.u64(uint64(v)) }
-func (b *buffer) f64(v float64) {
-	b.u64(math.Float64bits(v))
 }
 
 func (b *buffer) need(n int) bool {
@@ -155,16 +274,19 @@ type Action struct {
 }
 
 // MarshalAction encodes an action message.
-func MarshalAction(a Action) []byte {
-	var b buffer
-	b.i64(a.Player)
-	b.i64(int64(a.Issued))
-	b.u8(uint8(a.Act.Kind))
-	b.i64(a.Act.Player)
-	b.f64(a.Act.Target.X)
-	b.f64(a.Act.Target.Y)
-	b.i64(int64(a.Act.Victim))
-	return b.b
+func MarshalAction(a Action) []byte { return AppendAction(nil, a) }
+
+// AppendAction marshals an action message into dst and returns the extended
+// slice — the allocation-free form of MarshalAction.
+func AppendAction(dst []byte, a Action) []byte {
+	dst = appendI64(dst, a.Player)
+	dst = appendI64(dst, int64(a.Issued))
+	dst = appendU8(dst, uint8(a.Act.Kind))
+	dst = appendI64(dst, a.Act.Player)
+	dst = appendF64(dst, a.Act.Target.X)
+	dst = appendF64(dst, a.Act.Target.Y)
+	dst = appendI64(dst, int64(a.Act.Victim))
+	return dst
 }
 
 // UnmarshalAction decodes an action message.
@@ -182,32 +304,35 @@ func UnmarshalAction(p []byte) (Action, error) {
 }
 
 // MarshalDelta encodes a world delta (the cloud's update information).
-func MarshalDelta(d world.Delta) []byte {
-	var b buffer
-	b.u64(d.FromVersion)
-	b.u64(d.ToVersion)
+func MarshalDelta(d world.Delta) []byte { return AppendDelta(nil, d) }
+
+// AppendDelta marshals a world delta into dst and returns the extended
+// slice — the allocation-free form of MarshalDelta.
+func AppendDelta(dst []byte, d world.Delta) []byte {
+	dst = appendU64(dst, d.FromVersion)
+	dst = appendU64(dst, d.ToVersion)
 	full := uint8(0)
 	if d.Full {
 		full = 1
 	}
-	b.u8(full)
-	b.u32(uint32(len(d.Updated)))
-	b.u32(uint32(len(d.Removed)))
+	dst = appendU8(dst, full)
+	dst = appendU32(dst, uint32(len(d.Updated)))
+	dst = appendU32(dst, uint32(len(d.Removed)))
 	for _, e := range d.Updated {
-		b.i64(int64(e.ID))
-		b.u8(uint8(e.Kind))
-		b.i64(e.Owner)
-		b.f64(e.Pos.X)
-		b.f64(e.Pos.Y)
-		b.f64(e.Vel.X)
-		b.f64(e.Vel.Y)
-		b.u32(uint32(e.HP))
-		b.u64(e.Version)
+		dst = appendI64(dst, int64(e.ID))
+		dst = appendU8(dst, uint8(e.Kind))
+		dst = appendI64(dst, e.Owner)
+		dst = appendF64(dst, e.Pos.X)
+		dst = appendF64(dst, e.Pos.Y)
+		dst = appendF64(dst, e.Vel.X)
+		dst = appendF64(dst, e.Vel.Y)
+		dst = appendU32(dst, uint32(e.HP))
+		dst = appendU64(dst, e.Version)
 	}
 	for _, id := range d.Removed {
-		b.i64(int64(id))
+		dst = appendI64(dst, int64(id))
 	}
-	return b.b
+	return dst
 }
 
 // UnmarshalDelta decodes a world delta.
@@ -259,36 +384,61 @@ type Segment struct {
 }
 
 // MarshalSegment encodes a segment message.
-func MarshalSegment(s Segment) []byte {
-	var b buffer
-	b.i64(s.Player)
-	b.i64(s.Seq)
-	b.u8(s.Level)
-	b.i64(int64(s.ActionIssued))
-	b.u32(uint32(len(s.Payload)))
-	b.b = append(b.b, s.Payload...)
-	return b.b
+func MarshalSegment(s Segment) []byte { return AppendSegment(nil, s) }
+
+// AppendSegment marshals a segment message into dst and returns the
+// extended slice — the allocation-free form of MarshalSegment.
+func AppendSegment(dst []byte, s Segment) []byte {
+	dst = AppendSegmentHeader(dst, s, len(s.Payload))
+	return append(dst, s.Payload...)
 }
 
-// UnmarshalSegment decodes a segment message.
+// AppendSegmentHeader marshals a segment's fixed fields plus a payload
+// length of payloadLen, without the payload bytes (s.Payload is ignored).
+// The caller must append exactly payloadLen bytes afterward — this is the
+// render-in-place hot path: the encoder writes the video bytes directly
+// into the wire buffer with no intermediate slice.
+func AppendSegmentHeader(dst []byte, s Segment, payloadLen int) []byte {
+	dst = appendI64(dst, s.Player)
+	dst = appendI64(dst, s.Seq)
+	dst = appendU8(dst, s.Level)
+	dst = appendI64(dst, int64(s.ActionIssued))
+	return appendU32(dst, uint32(payloadLen))
+}
+
+// UnmarshalSegment decodes a segment message. The payload is copied, so the
+// segment is safe to retain after the frame buffer is reused; the receive
+// hot path should prefer UnmarshalSegmentInto.
 func UnmarshalSegment(p []byte) (Segment, error) {
-	b := buffer{b: p}
 	var s Segment
+	err := UnmarshalSegmentInto(p, &s)
+	if err == nil {
+		s.Payload = append([]byte(nil), s.Payload...)
+	}
+	return s, err
+}
+
+// UnmarshalSegmentInto decodes a segment message without copying the
+// payload: s.Payload aliases p's storage, borrowed rather than owned. The
+// decoded segment is valid only as long as p is — until the read buffer or
+// pooled frame it came from is reused. Copy s.Payload (or use
+// UnmarshalSegment) when the segment must outlive the frame.
+func UnmarshalSegmentInto(p []byte, s *Segment) error {
+	b := buffer{b: p}
 	s.Player = b.ri64()
 	s.Seq = b.ri64()
 	s.Level = b.ru8()
 	s.ActionIssued = time.Duration(b.ri64())
 	n := int(b.ru32())
 	if b.err != nil {
-		return s, b.err
+		return b.err
 	}
 	if n > len(p)-b.off {
-		return s, fmt.Errorf("proto: segment payload length %d exceeds frame", n)
+		return fmt.Errorf("proto: segment payload length %d exceeds frame", n)
 	}
-	s.Payload = make([]byte, n)
-	copy(s.Payload, b.b[b.off:b.off+n])
+	s.Payload = b.b[b.off : b.off+n]
 	b.off += n
-	return s, b.finish()
+	return b.finish()
 }
 
 // JoinStream subscribes a player's rendered view at a supernode.
@@ -302,15 +452,17 @@ type JoinStream struct {
 }
 
 // MarshalJoinStream encodes a stream subscription.
-func MarshalJoinStream(j JoinStream) []byte {
-	var b buffer
-	b.i64(j.Player)
-	b.u32(uint32(j.GameID))
-	b.f64(j.ViewX)
-	b.f64(j.ViewY)
-	b.f64(j.ViewR)
-	b.u8(j.LevelCap)
-	return b.b
+func MarshalJoinStream(j JoinStream) []byte { return AppendJoinStream(nil, j) }
+
+// AppendJoinStream marshals a stream subscription into dst and returns the
+// extended slice — the allocation-free form of MarshalJoinStream.
+func AppendJoinStream(dst []byte, j JoinStream) []byte {
+	dst = appendI64(dst, j.Player)
+	dst = appendU32(dst, uint32(j.GameID))
+	dst = appendF64(dst, j.ViewX)
+	dst = appendF64(dst, j.ViewY)
+	dst = appendF64(dst, j.ViewR)
+	return appendU8(dst, j.LevelCap)
 }
 
 // UnmarshalJoinStream decodes a stream subscription.
@@ -343,11 +495,13 @@ type Hello struct {
 }
 
 // MarshalHello encodes a hello.
-func MarshalHello(h Hello) []byte {
-	var b buffer
-	b.u8(uint8(h.Role))
-	b.i64(h.ID)
-	return b.b
+func MarshalHello(h Hello) []byte { return AppendHello(nil, h) }
+
+// AppendHello marshals a hello into dst and returns the extended slice —
+// the allocation-free form of MarshalHello.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = appendU8(dst, uint8(h.Role))
+	return appendI64(dst, h.ID)
 }
 
 // UnmarshalHello decodes a hello.
@@ -365,11 +519,13 @@ type Heartbeat struct {
 }
 
 // MarshalHeartbeat encodes a heartbeat.
-func MarshalHeartbeat(h Heartbeat) []byte {
-	var b buffer
-	b.i64(h.ID)
-	b.u64(h.Seq)
-	return b.b
+func MarshalHeartbeat(h Heartbeat) []byte { return AppendHeartbeat(nil, h) }
+
+// AppendHeartbeat marshals a heartbeat into dst and returns the extended
+// slice — the allocation-free form of MarshalHeartbeat.
+func AppendHeartbeat(dst []byte, h Heartbeat) []byte {
+	dst = appendI64(dst, h.ID)
+	return appendU64(dst, h.Seq)
 }
 
 // UnmarshalHeartbeat decodes a heartbeat.
@@ -385,11 +541,11 @@ type Ack struct {
 }
 
 // MarshalAck encodes an acknowledgement.
-func MarshalAck(a Ack) []byte {
-	var b buffer
-	b.u32(a.Code)
-	return b.b
-}
+func MarshalAck(a Ack) []byte { return AppendAck(nil, a) }
+
+// AppendAck marshals an acknowledgement into dst and returns the extended
+// slice — the allocation-free form of MarshalAck.
+func AppendAck(dst []byte, a Ack) []byte { return appendU32(dst, a.Code) }
 
 // UnmarshalAck decodes an acknowledgement.
 func UnmarshalAck(p []byte) (Ack, error) {
