@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-all chaos wire verify
+.PHONY: build test vet race bench bench-json bench-all chaos wire coord verify
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,11 @@ race:
 bench:
 	$(GO) run ./cmd/cloudfog-bench
 
-# bench-json records this PR's numbers as BENCH_PR7.json (same schema as
-# BENCH_PR6.json, plus SegmentEncode and the WireSaturation pair) and prints
-# the recorded-vs-live comparison against the previous PR's file.
+# bench-json records this PR's numbers as BENCH_PR8.json (same schema as
+# BENCH_PR7.json, plus PlacementThroughput) and prints the
+# recorded-vs-live comparison against the previous PR's file.
 bench-json:
-	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR7.json -baseline BENCH_PR6.json
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR8.json -baseline BENCH_PR7.json
 
 # bench-all runs the full per-figure benchmark suite.
 bench-all:
@@ -61,6 +61,16 @@ wire:
 	$(GO) run ./cmd/cloudfog-live -players 4 -supernodes 3 -duration 5s \
 		-transport udp -detector phi -heartbeat 200ms -chaos default
 
+# coord is the control-plane smoke: the coordinator suite (placement,
+# churn property test, and the multi-process kill test) under the race
+# detector, then the one-process churn demo — cloud, coordinator, three
+# workers, six players, one worker killed mid-stream — which fails unless
+# every stranded session re-places and the session ledger reconciles.
+coord:
+	$(GO) test -race -count=1 ./internal/coord/
+	$(GO) run ./cmd/cloudfog-coordinator -demo -workers 3 -players 6 \
+		-duration 4s -report coord_report.json
+
 # verify is the CI gate: static checks, the race-enabled suite, the chaos
-# smoke, and the wire smoke.
-verify: vet race chaos wire
+# smoke, the wire smoke, and the coordinator smoke.
+verify: vet race chaos wire coord

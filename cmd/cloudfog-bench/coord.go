@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudfog/internal/coord"
+	"cloudfog/internal/health"
+	"cloudfog/internal/proto"
+)
+
+// registerCoordBenches records the coordinator placement hot path:
+// PlacementThroughput is one Place → ticket issue (spatial shortlist,
+// overload admission, ring assembly, HMAC signing) against a registered
+// worker fleet, with the session departed again so the fleet never fills.
+func registerCoordBenches(results map[string]Result) {
+	record(results, "PlacementThroughput", func(b *testing.B) {
+		b.ReportAllocs()
+		const workers = 64
+		p, err := coord.NewPlacer(coord.PlacerConfig{
+			Detector:  health.DetectorConfig{Mode: health.ModePhi, Interval: 100 * time.Millisecond},
+			TicketKey: []byte("bench-key"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := time.Duration(0)
+		for i := int64(1); i <= workers; i++ {
+			p.Register(now, proto.Register{
+				Worker:   i,
+				Capacity: 1 << 30,
+				X:        float64((i * 1237) % 10_000),
+				Y:        float64((i * 4099) % 10_000),
+				Addr:     fmt.Sprintf("10.0.0.%d:9000", i),
+			})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += time.Microsecond
+			player := int64(100_000 + i)
+			t, ok := p.Place(now, proto.Place{
+				Player: player,
+				GameID: 1,
+				X:      float64((i * 733) % 10_000),
+				Y:      float64((i * 271) % 10_000),
+			})
+			if !ok || t.Worker == 0 {
+				b.Fatalf("placement %d failed (ok=%v worker=%d)", i, ok, t.Worker)
+			}
+			p.Depart(player)
+		}
+	})
+}

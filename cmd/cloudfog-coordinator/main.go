@@ -1,0 +1,230 @@
+// Command cloudfog-coordinator runs the CloudFog control plane: workers
+// (supernodes started with coord_addr) register with it and stream
+// occupancy reports, players ask it for placement, and it hands out signed
+// session tickets naming the serving worker and its backup ring. Worker
+// deaths are detected by phi-accrual detectors over the report stream; the
+// stranded sessions are re-placed and fresh tickets pushed to the players.
+//
+// Standalone mode serves until SIGINT/SIGTERM and then (with -report)
+// writes the session-ledger reconciliation as JSON:
+//
+//	cloudfog-coordinator -config coordinator.json -report ledger.json
+//
+// Demo mode spins up a full local deployment in one process — cloud,
+// coordinator, -workers workers, -players streaming players — kills one
+// worker mid-stream, waits for every stranded session to re-place, and
+// exits non-zero unless the ledger reconciles:
+//
+//	cloudfog-coordinator -demo -workers 3 -players 6 -duration 4s -report ledger.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"cloudfog/internal/coord"
+	"cloudfog/internal/health"
+	"cloudfog/internal/live"
+)
+
+var (
+	configFlag   = flag.String("config", "", "coordinator config JSON path (role \"coordinator\")")
+	addrFlag     = flag.String("addr", "127.0.0.1:0", "listen address when no -config is given")
+	cloudFlag    = flag.String("cloud-addr", "", "cloud address for cloud-direct fallback tickets")
+	keyFlag      = flag.String("ticket-key", "", "shared HMAC key for ticket signing (empty = unsigned)")
+	reportFlag   = flag.String("report", "", "write the ledger reconciliation JSON here on exit (\"-\" = stdout)")
+	demoFlag     = flag.Bool("demo", false, "run the local churn demo instead of serving")
+	workersFlag  = flag.Int("workers", 3, "demo: worker count")
+	playersFlag  = flag.Int("players", 6, "demo: player count")
+	durationFlag = flag.Duration("duration", 4*time.Second, "demo: player session length")
+	intervalFlag = flag.Duration("interval", 100*time.Millisecond, "failure-detector heartbeat interval")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfog-coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+func coordinatorConfig() (live.Config, error) {
+	if *configFlag != "" {
+		blob, err := os.ReadFile(*configFlag)
+		if err != nil {
+			return live.Config{}, err
+		}
+		var cfg live.Config
+		if err := json.Unmarshal(blob, &cfg); err != nil {
+			return live.Config{}, fmt.Errorf("config %s: %w", *configFlag, err)
+		}
+		if cfg.Role == "" {
+			cfg.Role = live.RoleCoordinator
+		}
+		return cfg, cfg.Validate()
+	}
+	cfg := live.Config{
+		Role:      live.RoleCoordinator,
+		Addr:      *addrFlag,
+		CloudAddr: *cloudFlag,
+		TicketKey: *keyFlag,
+		Detector:  health.DetectorConfig{Mode: health.ModePhi, Interval: *intervalFlag},
+	}
+	return cfg, cfg.Validate()
+}
+
+func writeReport(c *coord.Coordinator) error {
+	if *reportFlag == "" {
+		return nil
+	}
+	if *reportFlag == "-" {
+		return c.WriteReport(os.Stdout)
+	}
+	f, err := os.Create(*reportFlag)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.WriteReport(f)
+}
+
+func run() error {
+	if *demoFlag {
+		return demo()
+	}
+	cfg, err := coordinatorConfig()
+	if err != nil {
+		return err
+	}
+	c, err := coord.StartCoordinator(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("coordinator on %s (detector bound %v)\n", c.Addr(), c.Bound())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	return writeReport(c)
+}
+
+// demo is the `make coord` smoke: a full local deployment with one worker
+// killed mid-stream. It fails unless every stranded session re-places and
+// the ledger reconciles.
+func demo() error {
+	cloud, err := live.NewCloud(live.Config{
+		Role: live.RoleCloud, Addr: "127.0.0.1:0",
+		Tick: 20 * time.Millisecond, DirectFPS: 10,
+	})
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+
+	cfg := live.Config{
+		Role: live.RoleCoordinator, Addr: *addrFlag,
+		CloudAddr: cloud.Addr(), TicketKey: *keyFlag,
+		Detector: health.DetectorConfig{Mode: health.ModePhi, Interval: *intervalFlag},
+	}
+	if cfg.TicketKey == "" {
+		cfg.TicketKey = "demo-key"
+	}
+	c, err := coord.StartCoordinator(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("coordinator on %s (detector bound %v)\n", c.Addr(), c.Bound())
+
+	workers := make([]*coord.Worker, *workersFlag)
+	for i := range workers {
+		id := int64(i + 1)
+		w, err := coord.StartWorker(live.Config{
+			Role: live.RoleSupernode, ID: id, Addr: "127.0.0.1:0",
+			CloudAddr: cloud.Addr(), CoordAddr: c.Addr(),
+			FPS:      30,
+			X:        float64(1500 + (i%3)*3500),
+			Y:        float64(2500 + (i/3)*5000),
+			Capacity: 16, ReportEvery: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", id, err)
+		}
+		defer w.Close()
+		workers[i] = w
+		fmt.Printf("worker %d on %s\n", id, w.Addr())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.WorkersAlive() < len(workers) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d/%d workers registered", c.WorkersAlive(), len(workers))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, *playersFlag)
+	for i := 0; i < *playersFlag; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, tk, err := coord.RunSession(context.Background(), live.Config{
+				Role: live.RolePlayer, ID: int64(600 + i), GameID: 1,
+				CloudAddr: cloud.Addr(), CoordAddr: c.Addr(),
+				TicketKey: cfg.TicketKey,
+				X:         float64(1000 + i*1500), Y: 3000,
+			}, *durationFlag)
+			errs[i] = err
+			if err == nil {
+				fmt.Printf("player %d: worker %d, %d segments, %d failovers\n",
+					600+i, tk.Worker, rep.Segments, rep.Failovers)
+			}
+		}(i)
+	}
+
+	// Kill one worker a quarter into the run: its report loop and supernode
+	// stop, the detector declares it dead, and its sessions re-place.
+	time.Sleep(*durationFlag / 4)
+	victim := workers[0]
+	fmt.Printf("killing worker %d mid-stream\n", victim.ID())
+	victim.Close()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("player %d: %w", 600+i, err)
+		}
+	}
+	// Sessions have departed; reconcile.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		l := c.Ledger()
+		if l.ActiveOriginal+l.ActiveReplaced == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sessions never departed: %+v", l)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := writeReport(c); err != nil {
+		return err
+	}
+	l := c.Ledger()
+	fmt.Printf("ledger: %d placed, %d re-placed, %d departed, %d rejected, workers lost %d\n",
+		l.Placements, l.Replacements, l.Departed, l.Rejected, l.WorkersLost)
+	if !l.Balanced() {
+		return fmt.Errorf("ledger does not reconcile: %+v", l)
+	}
+	if l.Replacements == 0 {
+		return fmt.Errorf("no sessions were re-placed after the worker kill")
+	}
+	return nil
+}

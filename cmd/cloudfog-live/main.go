@@ -12,11 +12,20 @@
 // of every link's frame/byte/delay instruments at /metrics for the lifetime
 // of the run.
 //
+// The bare invocation (flat flags) runs the all-in-one local demo. The role
+// subcommands run a single role from a serializable live.Config, so the same
+// binary deploys each process of a real multi-machine topology:
+//
+//	cloudfog-live cloud     -config cloud.json
+//	cloudfog-live supernode -config worker.json   (coord_addr ⇒ worker mode)
+//	cloudfog-live player    -config player.json -duration 10s
+//
 // Usage:
 //
 //	cloudfog-live
 //	cloudfog-live -players 8 -supernodes 2 -duration 5s
 //	cloudfog-live -metrics-addr 127.0.0.1:9100
+//	cloudfog-live <cloud|supernode|player> -config <json>
 package main
 
 import (
@@ -76,6 +85,16 @@ var (
 )
 
 func main() {
+	// Role subcommands first; anything else is the legacy flat-flag demo.
+	if len(os.Args) > 1 {
+		if role, err := live.ParseRole(os.Args[1]); err == nil {
+			if err := runRole(role, os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "cloudfog-live %s: %v\n", role, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudfog-live:", err)

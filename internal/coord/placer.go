@@ -1,0 +1,442 @@
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"cloudfog/internal/health"
+	"cloudfog/internal/obs"
+	"cloudfog/internal/proto"
+	"cloudfog/internal/spatial"
+)
+
+// Placer defaults, used when the corresponding PlacerConfig field is zero.
+const (
+	// DefaultShortlistK is how many nearest candidates a placement ranks.
+	DefaultShortlistK = 4
+	// DefaultBackups is the backup-ring size baked into tickets.
+	DefaultBackups = 2
+	// defaultPlane matches world.DefaultConfig()'s 10,000² bounds.
+	defaultPlane = 10_000
+)
+
+// PlacerConfig parameterizes the placement state machine.
+type PlacerConfig struct {
+	// Width, Height bound the plane workers and players live on (zero
+	// means the default 10,000² world).
+	Width, Height float64
+	// ShortlistK is the nearest-worker candidate count per placement;
+	// Backups is the ring size baked into each ticket.
+	ShortlistK int
+	Backups    int
+	// Detector configures the per-worker failure detector fed by report
+	// arrivals.
+	Detector health.DetectorConfig
+	// Overload configures the admission ladder (zero means defaults).
+	Overload health.OverloadConfig
+	// TicketKey signs issued tickets (empty disables signing).
+	TicketKey []byte
+	// CloudAddr, when non-empty, is the cloud's direct-stream address: a
+	// placement with no admitting worker falls back to it instead of
+	// rejecting, and a re-placement with no surviving worker migrates there
+	// instead of dropping the session.
+	CloudAddr string
+	// Stats, when non-nil, mirrors the placer's ledger into metrics.
+	Stats *obs.CoordStats
+}
+
+// Replacement is one churn outcome from Sweep or Deregister: either a fresh
+// ticket for the player (pushed over its control link) or a dropped session
+// (no surviving worker and no cloud fallback).
+type Replacement struct {
+	Player  int64
+	Ticket  proto.Ticket
+	Dropped bool
+}
+
+// Ledger is the placer's session accounting. The reconciliation identity —
+// checked by Balanced — is
+//
+//	Placements == ActiveOriginal + ActiveReplaced + Departed
+//
+// Rejected joins never enter the ledger; Replacements counts ticket
+// re-issues, not sessions (a twice-moved session is one ActiveReplaced).
+type Ledger struct {
+	Placements     uint64 `json:"placements"`
+	Replacements   uint64 `json:"replacements"`
+	Rejected       uint64 `json:"rejected"`
+	Departed       uint64 `json:"departed"`
+	ActiveOriginal uint64 `json:"active_original"`
+	ActiveReplaced uint64 `json:"active_replaced"`
+
+	WorkersAlive      int    `json:"workers_alive"`
+	WorkersRegistered uint64 `json:"workers_registered"`
+	WorkersLost       uint64 `json:"workers_lost"`
+	WorkersReturned   uint64 `json:"workers_returned"`
+}
+
+// Balanced reports whether the ledger identity holds.
+func (l Ledger) Balanced() bool {
+	return l.Placements == l.ActiveOriginal+l.ActiveReplaced+l.Departed
+}
+
+type workerState struct {
+	reg      proto.Register
+	det      *health.Detector
+	alive    bool
+	load     int
+	capacity int
+	lastSeq  uint64
+}
+
+type sessionState struct {
+	place    proto.Place
+	worker   int64 // zero: cloud-direct
+	epoch    uint64
+	replaced bool
+}
+
+// Placer is the coordinator's placement state machine: worker liveness and
+// occupancy, the spatial shortlist, the overload admission ladder, and the
+// session ledger. It is a passive value fed explicit timestamps — no clocks,
+// no goroutines — so the churn property tests drive it deterministically.
+// Not safe for concurrent use; the Coordinator serializes access.
+type Placer struct {
+	cfg     PlacerConfig
+	grid    *spatial.Grid
+	ladder  *health.Overload
+	workers map[int64]*workerState
+	// sessions maps player → session; sweep iterates workers' sessions via
+	// this map (worker counts stay small next to session counts).
+	sessions map[int64]*sessionState
+	epoch    uint64
+	scratch  []spatial.Neighbor
+
+	placements   uint64
+	replacements uint64
+	rejected     uint64
+	departed     uint64
+	wRegistered  uint64
+	wLost        uint64
+	wReturned    uint64
+}
+
+// NewPlacer builds a placement state machine; zero config fields default.
+func NewPlacer(cfg PlacerConfig) (*Placer, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = defaultPlane
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = defaultPlane
+	}
+	if cfg.ShortlistK <= 0 {
+		cfg.ShortlistK = DefaultShortlistK
+	}
+	if cfg.Backups < 0 {
+		return nil, fmt.Errorf("coord: PlacerConfig.Backups %d is negative", cfg.Backups)
+	}
+	if cfg.Backups == 0 {
+		cfg.Backups = DefaultBackups
+	}
+	ladder, err := health.NewOverload(cfg.Overload, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Placer{
+		cfg:      cfg,
+		grid:     spatial.NewGrid(cfg.Width, cfg.Height),
+		ladder:   ladder,
+		workers:  make(map[int64]*workerState),
+		sessions: make(map[int64]*sessionState),
+	}, nil
+}
+
+// Bound returns the provable worker-death detection latency: no session
+// ticket points at a dead worker longer than this after the worker's last
+// report, provided Sweep runs at least every Detector.CheckEvery.
+func (p *Placer) Bound() time.Duration { return p.cfg.Detector.Bound() }
+
+// Register admits (or re-admits) a worker at now. Returned reports whether
+// this was a dead worker coming back.
+func (p *Placer) Register(now time.Duration, r proto.Register) (returned bool) {
+	w := p.workers[r.Worker]
+	if w == nil {
+		w = &workerState{det: health.NewDetector(p.cfg.Detector)}
+		p.workers[r.Worker] = w
+		p.wRegistered++
+		if p.cfg.Stats != nil {
+			p.cfg.Stats.WorkersRegistered.Inc()
+		}
+	} else if !w.alive {
+		returned = true
+		p.wReturned++
+		if p.cfg.Stats != nil {
+			p.cfg.Stats.WorkersReturned.Inc()
+		}
+	}
+	w.reg = r
+	w.alive = true
+	w.load = int(r.Load)
+	w.capacity = int(r.Capacity)
+	w.lastSeq = 0
+	w.det.Reset(now)
+	p.grid.Insert(r.Worker, r.X, r.Y)
+	p.ladder.Observe(r.Worker, w.load, w.capacity)
+	return returned
+}
+
+// Report consumes a worker's periodic occupancy beacon: the arrival gap
+// feeds the failure detector, the load ratio moves the admission ladder.
+// Reports from unknown or dead workers — and stale out-of-order datagrams —
+// are dropped (a dead worker must re-register to rejoin the pool).
+func (p *Placer) Report(now time.Duration, r proto.Report) bool {
+	w := p.workers[r.Worker]
+	if w == nil || !w.alive {
+		return false
+	}
+	if r.Seq != 0 && r.Seq <= w.lastSeq {
+		return false
+	}
+	w.lastSeq = r.Seq
+	w.det.Heartbeat(now)
+	w.load = int(r.Load)
+	if r.Capacity > 0 {
+		w.capacity = int(r.Capacity)
+	}
+	p.ladder.Observe(r.Worker, w.load, w.capacity)
+	if p.cfg.Stats != nil {
+		p.cfg.Stats.ReportsReceived.Inc()
+	}
+	return true
+}
+
+// Place answers a join: shortlist the nearest alive workers, pick the first
+// the ladder admits, ring the next backup-eligible ones, and issue a signed
+// ticket. With no admitting worker the session falls back to the cloud's
+// direct stream when configured, otherwise the join is rejected (ok=false).
+// A repeated Place for a live session re-issues its current ticket.
+func (p *Placer) Place(now time.Duration, req proto.Place) (proto.Ticket, bool) {
+	if s := p.sessions[req.Player]; s != nil {
+		return p.issue(now, req.Player, s), true
+	}
+	wid, ok := p.choose(req.X, req.Y)
+	if !ok {
+		p.rejected++
+		if p.cfg.Stats != nil {
+			p.cfg.Stats.Rejected.Inc()
+		}
+		return proto.Ticket{}, false
+	}
+	s := &sessionState{place: req, worker: wid}
+	p.sessions[req.Player] = s
+	p.placements++
+	if p.cfg.Stats != nil {
+		p.cfg.Stats.Placements.Inc()
+	}
+	p.attach(wid)
+	return p.issue(now, req.Player, s), true
+}
+
+// choose runs the placement policy at (x, y): the nearest alive worker the
+// ladder admits, or the cloud fallback (wid 0) when nothing admits.
+func (p *Placer) choose(x, y float64) (wid int64, ok bool) {
+	p.scratch = p.grid.NearestInto(p.scratch, x, y, p.cfg.ShortlistK,
+		func(id int64) bool {
+			w := p.workers[id]
+			return w != nil && w.alive
+		})
+	for _, nb := range p.scratch {
+		if p.ladder.Admit(nb.ID) {
+			return nb.ID, true
+		}
+	}
+	if p.cfg.CloudAddr == "" {
+		return 0, false
+	}
+	return 0, true // cloud-direct
+}
+
+// attach counts a placed session against the worker's occupancy until its
+// next report supersedes the estimate.
+func (p *Placer) attach(wid int64) {
+	if w := p.workers[wid]; w != nil {
+		w.load++
+		p.ladder.Observe(wid, w.load, w.capacity)
+	}
+}
+
+func (p *Placer) detach(wid int64) {
+	if w := p.workers[wid]; w != nil && w.load > 0 {
+		w.load--
+		p.ladder.Observe(wid, w.load, w.capacity)
+	}
+}
+
+// issue builds and signs the session's current ticket, advancing the global
+// epoch so every ticket supersedes all earlier ones for that player.
+func (p *Placer) issue(now time.Duration, player int64, s *sessionState) proto.Ticket {
+	p.epoch++
+	s.epoch = p.epoch
+	t := proto.Ticket{
+		Player: player,
+		Worker: s.worker,
+		Epoch:  s.epoch,
+		Issued: int64(now),
+	}
+	if w := p.workers[s.worker]; s.worker != 0 && w != nil {
+		t.Transport = w.reg.Transport
+		t.Addr = w.reg.Addr
+		t.Backups = p.ring(s)
+	} else {
+		t.Transport = proto.StreamTCP
+		t.Addr = p.cfg.CloudAddr
+	}
+	SignTicket(p.cfg.TicketKey, &t)
+	return t
+}
+
+// ring computes the backup ring around a session's position: the nearest
+// backup-eligible alive workers, excluding its serving worker.
+func (p *Placer) ring(s *sessionState) []string {
+	p.scratch = p.grid.NearestInto(p.scratch, s.place.X, s.place.Y, p.cfg.ShortlistK,
+		func(id int64) bool {
+			w := p.workers[id]
+			return w != nil && w.alive && id != s.worker
+		})
+	var backups []string
+	for _, nb := range p.scratch {
+		if len(backups) >= p.cfg.Backups {
+			break
+		}
+		if p.ladder.AllowBackup(nb.ID) {
+			backups = append(backups, p.workers[nb.ID].reg.Addr)
+		}
+	}
+	return backups
+}
+
+// Depart retires a player's session (its control link closed).
+func (p *Placer) Depart(player int64) bool {
+	s := p.sessions[player]
+	if s == nil {
+		return false
+	}
+	delete(p.sessions, player)
+	p.detach(s.worker)
+	p.departed++
+	if p.cfg.Stats != nil {
+		p.cfg.Stats.Departed.Inc()
+	}
+	return true
+}
+
+// Deregister removes a worker voluntarily (clean shutdown): its sessions
+// re-place exactly as if the detector had declared it dead, without waiting
+// for the silence bound.
+func (p *Placer) Deregister(now time.Duration, worker int64) []Replacement {
+	w := p.workers[worker]
+	if w == nil || !w.alive {
+		return nil
+	}
+	return p.bury(now, worker, w)
+}
+
+// Sweep evaluates every alive worker's detector at now and re-places the
+// sessions of any declared dead. Call it at least every Detector.CheckEvery
+// to keep Bound() honest.
+func (p *Placer) Sweep(now time.Duration) []Replacement {
+	var out []Replacement
+	for id, w := range p.workers {
+		if w.alive && w.det.Suspect(now) {
+			out = append(out, p.bury(now, id, w)...)
+		}
+	}
+	return out
+}
+
+// bury marks a worker dead and re-places every session it was serving.
+func (p *Placer) bury(now time.Duration, worker int64, w *workerState) []Replacement {
+	w.alive = false
+	p.grid.Remove(worker)
+	p.ladder.Forget(worker)
+	p.wLost++
+	if p.cfg.Stats != nil {
+		p.cfg.Stats.WorkersLost.Inc()
+	}
+	var out []Replacement
+	for player, s := range p.sessions {
+		if s.worker != worker {
+			continue
+		}
+		wid, ok := p.choose(s.place.X, s.place.Y)
+		if !ok {
+			// Nowhere to go: forced departure keeps the ledger balanced.
+			delete(p.sessions, player)
+			p.departed++
+			if p.cfg.Stats != nil {
+				p.cfg.Stats.Departed.Inc()
+			}
+			out = append(out, Replacement{Player: player, Dropped: true})
+			continue
+		}
+		s.worker = wid
+		s.replaced = true
+		p.attach(wid)
+		p.replacements++
+		if p.cfg.Stats != nil {
+			p.cfg.Stats.Replacements.Inc()
+		}
+		out = append(out, Replacement{Player: player, Ticket: p.issue(now, player, s)})
+	}
+	return out
+}
+
+// WorkerAlive reports whether the worker is currently registered and not
+// declared dead.
+func (p *Placer) WorkerAlive(id int64) bool {
+	w := p.workers[id]
+	return w != nil && w.alive
+}
+
+// WorkersAlive counts registered, not-dead workers.
+func (p *Placer) WorkersAlive() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// SessionWorker returns the worker currently serving the player's session
+// (0, false if the session does not exist; 0, true for cloud-direct).
+func (p *Placer) SessionWorker(player int64) (int64, bool) {
+	s := p.sessions[player]
+	if s == nil {
+		return 0, false
+	}
+	return s.worker, true
+}
+
+// Ledger snapshots the session accounting.
+func (p *Placer) Ledger() Ledger {
+	l := Ledger{
+		Placements:        p.placements,
+		Replacements:      p.replacements,
+		Rejected:          p.rejected,
+		Departed:          p.departed,
+		WorkersAlive:      p.WorkersAlive(),
+		WorkersRegistered: p.wRegistered,
+		WorkersLost:       p.wLost,
+		WorkersReturned:   p.wReturned,
+	}
+	for _, s := range p.sessions {
+		if s.replaced {
+			l.ActiveReplaced++
+		} else {
+			l.ActiveOriginal++
+		}
+	}
+	return l
+}

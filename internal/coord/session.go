@@ -1,0 +1,178 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cloudfog/internal/live"
+	"cloudfog/internal/proto"
+)
+
+// Session is a player's placement client: it asks the coordinator for a
+// ticket and keeps the control link open so re-placement tickets pushed
+// after worker deaths arrive on Updates. The coordinator counts the link
+// closing as the player's departure.
+type Session struct {
+	cfg     live.Config
+	link    live.Transport
+	updates chan proto.Ticket
+
+	mu     sync.Mutex
+	ticket proto.Ticket
+
+	wg sync.WaitGroup
+}
+
+// OpenSession places a player (Role RolePlayer with CoordAddr set): it
+// dials the coordinator — placement always rides TCP, whatever transport
+// the game stream uses — sends the placement request, and verifies the
+// returned ticket under cfg.TicketKey.
+func OpenSession(ctx context.Context, cfg live.Config, opts ...live.Option) (*Session, error) {
+	if cfg.Role != live.RolePlayer || cfg.CoordAddr == "" {
+		return nil, fmt.Errorf("coord: OpenSession needs Role %q with CoordAddr set, got %q/%q",
+			live.RolePlayer, cfg.Role, cfg.CoordAddr)
+	}
+	o := live.BuildOptions(opts...)
+	cfg = cfg.Applied(o)
+	cfg, err := live.DefaultedPlayer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dialCfg := cfg
+	dialCfg.Transport = live.TransportTCP
+	link, err := live.Dial(ctx, live.RoleCoordinator, dialCfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	req := proto.Place{Player: cfg.ID, GameID: int32(cfg.GameID), X: cfg.X, Y: cfg.Y}
+	if !link.Send(proto.TPlace, proto.MarshalPlace(req)) {
+		link.Close()
+		return nil, fmt.Errorf("coord: placement request send failed")
+	}
+	typ, payload, err := link.Recv()
+	if err != nil {
+		link.Close()
+		return nil, fmt.Errorf("coord: placement reply: %w", err)
+	}
+	if typ != proto.TTicket {
+		link.Close()
+		return nil, fmt.Errorf("coord: placement reply type %d, want ticket", typ)
+	}
+	t, err := proto.UnmarshalTicket(payload)
+	if err != nil {
+		link.Close()
+		return nil, err
+	}
+	if t.Addr == "" {
+		link.Close()
+		return nil, fmt.Errorf("coord: join rejected: no admitting worker")
+	}
+	if !VerifyTicket([]byte(cfg.TicketKey), t) {
+		link.Close()
+		return nil, fmt.Errorf("coord: ticket signature verification failed")
+	}
+	s := &Session{cfg: cfg, link: link, updates: make(chan proto.Ticket, 8), ticket: t}
+	s.wg.Add(1)
+	go s.watch()
+	return s, nil
+}
+
+// watch forwards pushed re-placement tickets (signature-checked) to Updates
+// until the link dies. A full updates channel drops the oldest ticket —
+// only the freshest placement matters.
+func (s *Session) watch() {
+	defer s.wg.Done()
+	defer close(s.updates)
+	for {
+		typ, payload, err := s.link.Recv()
+		if err != nil {
+			return
+		}
+		if typ != proto.TTicket {
+			continue
+		}
+		t, err := proto.UnmarshalTicket(payload)
+		if err != nil || !VerifyTicket([]byte(s.cfg.TicketKey), t) {
+			continue
+		}
+		s.mu.Lock()
+		if t.Epoch > s.ticket.Epoch {
+			s.ticket = t
+		}
+		s.mu.Unlock()
+		for {
+			select {
+			case s.updates <- t:
+			default:
+				select {
+				case <-s.updates:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Ticket returns the freshest ticket seen so far.
+func (s *Session) Ticket() proto.Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticket
+}
+
+// Updates delivers re-placement tickets pushed by the coordinator. The
+// channel closes when the control link dies.
+func (s *Session) Updates() <-chan proto.Ticket { return s.updates }
+
+// PlayerConfig resolves the session's current ticket into a runnable player
+// config: the ticket's worker address as StreamAddr, its ring as the
+// failover backups, and its transport as the stream transport.
+func (s *Session) PlayerConfig() (live.Config, error) {
+	t := s.Ticket()
+	cfg := s.cfg
+	cfg.StreamAddr = t.Addr
+	cfg.BackupAddrs = t.Backups
+	cfg.Transport = streamName(t.Transport)
+	return live.DefaultedPlayer(cfg)
+}
+
+// Run drives the placed player for the given wall-clock duration. Worker
+// churn mid-run is absorbed by the player's own failover ring — the ring is
+// the ticket's backups — while the pushed replacement ticket updates
+// Ticket() for the next attachment.
+func (s *Session) Run(duration time.Duration, opts ...live.Option) (live.PlayerReport, error) {
+	cfg, err := s.PlayerConfig()
+	if err != nil {
+		return live.PlayerReport{}, err
+	}
+	p, err := live.NewPlayer(cfg, opts...)
+	if err != nil {
+		return live.PlayerReport{}, err
+	}
+	return p.Run(duration)
+}
+
+// Close ends the session; the coordinator records the departure.
+func (s *Session) Close() {
+	s.link.Close()
+	s.wg.Wait()
+}
+
+// RunSession is the one-call client: place, stream for duration, depart.
+// It returns the player's report and the last ticket held.
+func RunSession(ctx context.Context, cfg live.Config, duration time.Duration, opts ...live.Option) (live.PlayerReport, proto.Ticket, error) {
+	s, err := OpenSession(ctx, cfg, opts...)
+	if err != nil {
+		return live.PlayerReport{}, proto.Ticket{}, err
+	}
+	defer s.Close()
+	rep, err := s.Run(duration, opts...)
+	return rep, s.Ticket(), err
+}

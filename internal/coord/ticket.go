@@ -1,0 +1,45 @@
+// Package coord is the CloudFog control plane: a coordinator process that
+// supernode workers register with (periodic capacity/occupancy reports feed
+// its failure detectors), that places joining players on the closest
+// admitting worker via the spatial shortlist + overload ladder, and that
+// survives worker churn by re-placing every session a dead worker was
+// serving and pushing fresh tickets to the affected players.
+//
+// The package splits into a pure, caller-synchronized placement state
+// machine (Placer — the part property tests drive deterministically) and
+// the network shells around it: Coordinator (the server), Worker (a
+// supernode that registers and reports), and Session (a player's placement
+// client).
+package coord
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+
+	"cloudfog/internal/proto"
+)
+
+// SignTicket computes the ticket's HMAC-SHA256 signature over every field
+// except Sig and stores it in t.Sig. An empty key disables signing (Sig is
+// cleared), matching unsigned local deployments.
+func SignTicket(key []byte, t *proto.Ticket) {
+	if len(key) == 0 {
+		t.Sig = nil
+		return
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(proto.AppendTicketBody(nil, *t))
+	t.Sig = mac.Sum(nil)
+}
+
+// VerifyTicket reports whether the ticket's signature is valid under key.
+// An empty key accepts only unsigned tickets; a non-empty key rejects both
+// unsigned and tampered tickets.
+func VerifyTicket(key []byte, t proto.Ticket) bool {
+	if len(key) == 0 {
+		return len(t.Sig) == 0
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(proto.AppendTicketBody(nil, t))
+	return hmac.Equal(t.Sig, mac.Sum(nil))
+}

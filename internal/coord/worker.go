@@ -1,0 +1,165 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cloudfog/internal/live"
+	"cloudfog/internal/proto"
+)
+
+// Worker is a coordinator-registered supernode: the serving supernode plus
+// the control loop that registers it and streams capacity/occupancy reports
+// whose arrival gaps drive the coordinator's failure detector.
+type Worker struct {
+	sn   *live.Supernode
+	cfg  live.Config
+	opts []live.Option
+	occ  func() int
+
+	mu   sync.Mutex
+	link live.Transport
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// StartWorker launches a worker: a supernode (Role RoleSupernode with
+// CoordAddr set) that registers with the coordinator and reports every
+// ReportEvery. The report loop survives coordinator restarts by re-dialing
+// and re-registering when the control link dies.
+func StartWorker(cfg live.Config, opts ...live.Option) (*Worker, error) {
+	if cfg.Role != live.RoleSupernode || cfg.CoordAddr == "" {
+		return nil, fmt.Errorf("coord: StartWorker needs Role %q with CoordAddr set, got %q/%q",
+			live.RoleSupernode, cfg.Role, cfg.CoordAddr)
+	}
+	o := live.BuildOptions(opts...)
+	cfg = cfg.Applied(o)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sn, err := live.NewSupernode(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{sn: sn, cfg: cfg, opts: opts, occ: o.Occupancy, stop: make(chan struct{})}
+	if w.occ == nil {
+		w.occ = sn.SessionCount
+	}
+	link, err := w.connect()
+	if err != nil {
+		sn.Close()
+		return nil, err
+	}
+	w.link = link
+	w.wg.Add(1)
+	go w.reportLoop()
+	return w, nil
+}
+
+// connect dials the coordinator and registers the worker's current state.
+func (w *Worker) connect() (live.Transport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	link, err := live.Dial(ctx, live.RoleCoordinator, w.cfg, w.opts...)
+	if err != nil {
+		return nil, err
+	}
+	reg := proto.Register{
+		Worker:    w.cfg.ID,
+		Capacity:  int32(w.cfg.Capacity),
+		Load:      int32(w.occ()),
+		X:         w.cfg.X,
+		Y:         w.cfg.Y,
+		Transport: streamCode(w.cfg.Transport),
+		Addr:      w.sn.Addr(),
+	}
+	if !link.Send(proto.TRegister, proto.MarshalRegister(reg)) {
+		link.Close()
+		return nil, fmt.Errorf("coord: worker %d registration send failed", w.cfg.ID)
+	}
+	return link, nil
+}
+
+// reportLoop streams occupancy reports; a dead link triggers reconnection
+// (with registration), so a restarted coordinator re-learns the worker.
+func (w *Worker) reportLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.cfg.ReportEvery)
+	defer ticker.Stop()
+	seq := uint64(0)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		r := proto.Report{
+			Worker:   w.cfg.ID,
+			Seq:      seq,
+			Load:     int32(w.occ()),
+			Capacity: int32(w.cfg.Capacity),
+		}
+		w.mu.Lock()
+		link := w.link
+		w.mu.Unlock()
+		if link.Send(proto.TReport, proto.MarshalReport(r)) && link.Err() == nil {
+			continue
+		}
+		link.Close()
+		fresh, err := w.connect()
+		if err != nil {
+			// Coordinator still unreachable; keep the dead link and retry
+			// on the next tick.
+			continue
+		}
+		w.mu.Lock()
+		w.link = fresh
+		w.mu.Unlock()
+	}
+}
+
+// Addr returns the worker's player-facing stream address.
+func (w *Worker) Addr() string { return w.sn.Addr() }
+
+// ID returns the worker's identity.
+func (w *Worker) ID() int64 { return w.cfg.ID }
+
+// Supernode exposes the serving supernode (for chaos hooks and counters).
+func (w *Worker) Supernode() *live.Supernode { return w.sn }
+
+// Close stops reporting and shuts the supernode down.
+func (w *Worker) Close() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	w.wg.Wait()
+	w.mu.Lock()
+	link := w.link
+	w.mu.Unlock()
+	if link != nil {
+		link.Close()
+	}
+	w.sn.Close()
+}
+
+// streamCode maps the live transport name onto the wire code tickets carry.
+func streamCode(t string) uint8 {
+	if t == live.TransportUDP {
+		return proto.StreamUDP
+	}
+	return proto.StreamTCP
+}
+
+// streamName maps a ticket's wire code back onto the live transport name.
+func streamName(c uint8) string {
+	if c == proto.StreamUDP {
+		return live.TransportUDP
+	}
+	return live.TransportTCP
+}

@@ -16,6 +16,10 @@ import (
 
 // CloudConfig parameterizes the live cloud server. Validate rejects
 // incomplete configurations instead of papering over them with defaults.
+//
+// Deprecated: new code should build a role-tagged Config (Role: RoleCloud)
+// and use NewCloud; CloudConfig remains as the internal view the unified
+// config projects onto.
 type CloudConfig struct {
 	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
 	Addr string
@@ -107,6 +111,8 @@ type snHealth struct {
 }
 
 // StartCloud launches the cloud server described by cfg.
+//
+// Deprecated: prefer NewCloud(Config{Role: RoleCloud, ...}, opts...).
 func StartCloud(cfg CloudConfig) (*Cloud, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

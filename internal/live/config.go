@@ -1,0 +1,349 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/health"
+	"cloudfog/internal/obs"
+	"cloudfog/internal/world"
+)
+
+// RoleKind tags which live-plane process a Config describes.
+type RoleKind string
+
+const (
+	RoleCloud       RoleKind = "cloud"
+	RoleSupernode   RoleKind = "supernode"
+	RolePlayer      RoleKind = "player"
+	RoleCoordinator RoleKind = "coordinator"
+)
+
+// ParseRole maps a CLI subcommand or config tag onto a RoleKind.
+func ParseRole(s string) (RoleKind, error) {
+	switch RoleKind(s) {
+	case RoleCloud, RoleSupernode, RolePlayer, RoleCoordinator:
+		return RoleKind(s), nil
+	}
+	return "", fmt.Errorf("live: unknown role %q (cloud|supernode|player|coordinator)", s)
+}
+
+// Config is the single serializable, role-tagged configuration for every
+// live-plane role: cloud, supernode (standalone or coordinator-registered
+// worker), player, and coordinator. One JSON document round-trips through it
+// and Validate checks exactly the fields the tagged role requires, so a
+// coordinator — or an operator's config file — can spawn any role from the
+// same schema. Runtime-only knobs that cannot serialize (injected delay
+// functions, metric registries, detector overrides) attach through the
+// functional options accepted by NewCloud / NewSupernode / NewPlayer.
+//
+// Durations marshal as integer nanoseconds (Go's time.Duration JSON form).
+type Config struct {
+	Role RoleKind `json:"role"`
+	// ID is the node's wire identity (supernode hello ID, worker ID, player
+	// ID).
+	ID int64 `json:"id,omitempty"`
+
+	// Addr is the role's own listen address (cloud, supernode,
+	// coordinator); "127.0.0.1:0" picks an ephemeral port.
+	Addr string `json:"addr,omitempty"`
+	// CloudAddr names the upstream cloud (supernode update subscription,
+	// player action link, coordinator cloud-direct fallback tickets).
+	CloudAddr string `json:"cloud_addr,omitempty"`
+	// CoordAddr names the coordinator: a supernode with CoordAddr set
+	// registers itself as a placeable worker, and a player with CoordAddr
+	// set asks the coordinator for a session ticket instead of using
+	// StreamAddr.
+	CoordAddr string `json:"coord_addr,omitempty"`
+	// StreamAddr pins a player's serving supernode directly (no
+	// coordinator); BackupAddrs is its static failover ring.
+	StreamAddr  string   `json:"stream_addr,omitempty"`
+	BackupAddrs []string `json:"backup_addrs,omitempty"`
+
+	// Transport selects the stream transport: TransportTCP (default when
+	// empty) or TransportUDP. Control links (cloud, coordinator TCP mode)
+	// stay reliable regardless.
+	Transport string `json:"transport,omitempty"`
+
+	// Cloud fields. A zero World means world.DefaultConfig().
+	World     world.Config  `json:"world,omitempty"`
+	Tick      time.Duration `json:"tick,omitempty"`
+	DirectFPS int           `json:"direct_fps,omitempty"`
+
+	// Supernode / worker fields.
+	FPS            int           `json:"fps,omitempty"`
+	DelayToCloud   time.Duration `json:"delay_to_cloud,omitempty"`
+	HeartbeatEvery time.Duration `json:"heartbeat_every,omitempty"`
+	// X, Y locate a worker for the coordinator's spatial shortlist (and a
+	// player's placement request).
+	X float64 `json:"x,omitempty"`
+	Y float64 `json:"y,omitempty"`
+	// Capacity is a worker's player-slot budget; ReportEvery is its
+	// capacity/occupancy report period to the coordinator.
+	Capacity    int           `json:"capacity,omitempty"`
+	ReportEvery time.Duration `json:"report_every,omitempty"`
+
+	// Player fields.
+	GameID          int           `json:"game_id,omitempty"`
+	ActionDelay     time.Duration `json:"action_delay,omitempty"`
+	ActionEvery     time.Duration `json:"action_every,omitempty"`
+	UploadAllowance time.Duration `json:"upload_allowance,omitempty"`
+	ViewRadius      float64       `json:"view_radius,omitempty"`
+
+	// Coordinator fields. ShortlistK is how many nearest admitting workers
+	// a placement considers (serving pick plus ring candidates); Backups is
+	// the backup-ring size baked into each ticket.
+	ShortlistK int `json:"shortlist_k,omitempty"`
+	Backups    int `json:"backups,omitempty"`
+	// TicketKey is the shared HMAC key tickets are signed under (empty
+	// disables signing — fine for local smoke runs, not deployments).
+	TicketKey string `json:"ticket_key,omitempty"`
+
+	// Detector configures heartbeat failure detection (cloud over supernode
+	// heartbeats, coordinator over worker reports).
+	Detector health.DetectorConfig `json:"detector,omitempty"`
+	// Overload configures the coordinator's placement admission ladder; the
+	// zero value means health.DefaultOverloadConfig().
+	Overload health.OverloadConfig `json:"overload,omitempty"`
+}
+
+// Validate reports configuration errors for the tagged role.
+func (c Config) Validate() error {
+	if !validTransport(c.Transport) {
+		return fmt.Errorf("live: Config.Transport %q is not %q or %q", c.Transport, TransportTCP, TransportUDP)
+	}
+	switch c.Role {
+	case RoleCloud:
+		return c.cloudView().Validate()
+	case RoleSupernode:
+		if err := c.supernodeView().Validate(); err != nil {
+			return err
+		}
+		if c.CoordAddr != "" {
+			switch {
+			case c.Capacity <= 0:
+				return fmt.Errorf("live: worker Config.Capacity %d is not positive", c.Capacity)
+			case c.ReportEvery <= 0:
+				return fmt.Errorf("live: worker Config.ReportEvery %v is not positive", c.ReportEvery)
+			}
+		}
+		return nil
+	case RolePlayer:
+		if c.CoordAddr == "" {
+			return c.playerView().Validate()
+		}
+		// A coordinator-placed player gets StreamAddr from its ticket;
+		// validate everything else through the classic view.
+		v := c.playerView()
+		v.StreamAddr = "ticket"
+		return v.Validate()
+	case RoleCoordinator:
+		switch {
+		case c.Addr == "":
+			return fmt.Errorf("live: coordinator Config.Addr is empty (use \"127.0.0.1:0\" for an ephemeral port)")
+		case c.ShortlistK < 0:
+			return fmt.Errorf("live: coordinator Config.ShortlistK %d is negative", c.ShortlistK)
+		case c.Backups < 0:
+			return fmt.Errorf("live: coordinator Config.Backups %d is negative", c.Backups)
+		}
+		if c.Overload != (health.OverloadConfig{}) {
+			if err := c.Overload.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("live: Config.Role %q is not a known role (cloud|supernode|player|coordinator)", c.Role)
+	}
+}
+
+// WorldConfig returns the cloud world configuration, substituting
+// world.DefaultConfig() for the zero value so serialized configs need not
+// spell out the default world.
+func (c Config) WorldConfig() world.Config {
+	if c.World == (world.Config{}) {
+		return world.DefaultConfig()
+	}
+	return c.World
+}
+
+// cloudView projects the role-tagged config onto the legacy cloud struct.
+func (c Config) cloudView() CloudConfig {
+	return CloudConfig{
+		Addr:      c.Addr,
+		World:     c.WorldConfig(),
+		Tick:      c.Tick,
+		Detector:  c.Detector,
+		DirectFPS: c.DirectFPS,
+	}
+}
+
+// supernodeView projects the role-tagged config onto the legacy supernode
+// struct.
+func (c Config) supernodeView() SupernodeConfig {
+	return SupernodeConfig{
+		ID:             c.ID,
+		CloudAddr:      c.CloudAddr,
+		Addr:           c.Addr,
+		Transport:      c.Transport,
+		DelayToCloud:   c.DelayToCloud,
+		FPS:            c.FPS,
+		HeartbeatEvery: c.HeartbeatEvery,
+	}
+}
+
+// playerView projects the role-tagged config onto the legacy player struct.
+func (c Config) playerView() PlayerConfig {
+	return PlayerConfig{
+		ID:              c.ID,
+		GameID:          c.GameID,
+		CloudAddr:       c.CloudAddr,
+		StreamAddr:      c.StreamAddr,
+		BackupAddrs:     c.BackupAddrs,
+		Transport:       c.Transport,
+		ActionDelay:     c.ActionDelay,
+		ActionEvery:     c.ActionEvery,
+		UploadAllowance: c.UploadAllowance,
+		ViewRadius:      c.ViewRadius,
+	}
+}
+
+// Options carries the runtime-only attachments a serializable Config cannot:
+// injected per-peer delays, metric registries, and late overrides. Build one
+// with the With* functional options.
+type Options struct {
+	// Obs, when non-nil, registers the role's link (and coordinator)
+	// metrics.
+	Obs *obs.Registry
+	// DelayFor, when non-nil, returns the injected one-way delay toward the
+	// identified peer (the cloud keys it by supernode ID, a supernode by
+	// player ID).
+	DelayFor func(peerID int64) time.Duration
+	// Detector, when non-nil, overrides the config's detector.
+	Detector *health.DetectorConfig
+	// Transport, when non-empty, overrides the config's stream transport.
+	Transport string
+	// Occupancy, when non-nil, overrides a worker's reported load (defaults
+	// to the supernode's live session count).
+	Occupancy func() int
+}
+
+// Option mutates Options; see With*.
+type Option func(*Options)
+
+// WithObs attaches a metrics registry.
+func WithObs(r *obs.Registry) Option { return func(o *Options) { o.Obs = r } }
+
+// WithDelayFor injects per-peer one-way delays at the sender.
+func WithDelayFor(f func(peerID int64) time.Duration) Option {
+	return func(o *Options) { o.DelayFor = f }
+}
+
+// WithDetector overrides the failure-detector configuration.
+func WithDetector(d health.DetectorConfig) Option {
+	return func(o *Options) { o.Detector = &d }
+}
+
+// WithTransport overrides the stream transport (TransportTCP/TransportUDP).
+func WithTransport(t string) Option { return func(o *Options) { o.Transport = t } }
+
+// WithOccupancy overrides the load a worker reports to the coordinator.
+func WithOccupancy(f func() int) Option { return func(o *Options) { o.Occupancy = f } }
+
+// BuildOptions folds a list of options into one Options value.
+func BuildOptions(opts ...Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Applied folds the runtime option overrides (transport, detector) into the
+// serializable config, returning the effective config — for packages
+// layering on top of live (the coordinator) that accept the same options.
+func (c Config) Applied(o Options) Config { return c.apply(o) }
+
+// apply folds the runtime options into the serializable config, returning
+// the effective config.
+func (c Config) apply(o Options) Config {
+	if o.Transport != "" {
+		c.Transport = o.Transport
+	}
+	if o.Detector != nil {
+		c.Detector = *o.Detector
+	}
+	return c
+}
+
+// NewCloud starts a cloud server from a role-tagged config plus runtime
+// options. The config's Role must be RoleCloud.
+func NewCloud(cfg Config, opts ...Option) (*Cloud, error) {
+	if cfg.Role != RoleCloud {
+		return nil, fmt.Errorf("live: NewCloud on Config.Role %q", cfg.Role)
+	}
+	o := BuildOptions(opts...)
+	cc := cfg.apply(o).cloudView()
+	cc.DelayFor = o.DelayFor
+	cc.Obs = o.Obs
+	return StartCloud(cc)
+}
+
+// NewSupernode starts a supernode from a role-tagged config plus runtime
+// options. The config's Role must be RoleSupernode. (A config with CoordAddr
+// set describes a coordinator-registered worker; start it through
+// coord.StartWorker, which calls back into this constructor.)
+func NewSupernode(cfg Config, opts ...Option) (*Supernode, error) {
+	if cfg.Role != RoleSupernode {
+		return nil, fmt.Errorf("live: NewSupernode on Config.Role %q", cfg.Role)
+	}
+	o := BuildOptions(opts...)
+	sc := cfg.apply(o).supernodeView()
+	sc.DelayFor = o.DelayFor
+	sc.Obs = o.Obs
+	return StartSupernode(sc)
+}
+
+// Player is a constructed-but-not-yet-run player session; Run drives it for
+// a wall-clock duration and returns the report.
+type Player struct {
+	cfg PlayerConfig
+}
+
+// NewPlayer builds a player from a role-tagged config plus runtime options.
+// The config's Role must be RolePlayer and StreamAddr must be resolved (a
+// coordinator-placed player resolves it from its ticket first).
+func NewPlayer(cfg Config, opts ...Option) (*Player, error) {
+	if cfg.Role != RolePlayer {
+		return nil, fmt.Errorf("live: NewPlayer on Config.Role %q", cfg.Role)
+	}
+	o := BuildOptions(opts...)
+	pc := cfg.apply(o).playerView()
+	pc.Obs = o.Obs
+	if err := pc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Player{cfg: pc}, nil
+}
+
+// Run drives the player for the given wall-clock duration.
+func (p *Player) Run(duration time.Duration) (PlayerReport, error) {
+	return RunPlayer(p.cfg, duration)
+}
+
+// DefaultedPlayer fills a player config's unset cadence and radius with the
+// suggested defaults and resolves the game, so callers assembling configs
+// from tickets don't repeat the boilerplate.
+func DefaultedPlayer(cfg Config) (Config, error) {
+	if cfg.ActionEvery == 0 {
+		cfg.ActionEvery = DefaultActionEvery
+	}
+	if cfg.ViewRadius == 0 {
+		cfg.ViewRadius = DefaultViewRadius
+	}
+	if _, err := game.ByID(cfg.GameID); err != nil {
+		return cfg, fmt.Errorf("live: Config.GameID %d: %w", cfg.GameID, err)
+	}
+	return cfg, nil
+}

@@ -222,11 +222,13 @@ func (l *linkCore) init(conn net.Conn, opts LinkOptions, dgram bool) {
 }
 
 // urgentType reports whether frames of type t must flush immediately:
-// heartbeats and acks feed failure detectors and handshakes, so coalescing
-// jitter on them would show up as detector noise.
+// heartbeats, acks, and the coordinator control frames feed failure
+// detectors and handshakes, so coalescing jitter on them would show up as
+// detector noise.
 func urgentType(t proto.MsgType) bool {
 	switch t {
-	case proto.THeartbeat, proto.TAck, proto.THello:
+	case proto.THeartbeat, proto.TAck, proto.THello,
+		proto.TRegister, proto.TReport, proto.TTicket:
 		return true
 	}
 	return false

@@ -23,6 +23,10 @@ const (
 )
 
 // PlayerConfig describes one live player client.
+//
+// Deprecated: new code should build a role-tagged Config (Role: RolePlayer)
+// and use NewPlayer; PlayerConfig remains as the internal view the unified
+// config projects onto.
 type PlayerConfig struct {
 	ID     int64
 	GameID int
@@ -109,6 +113,8 @@ const failoverDialDeadline = time.Second
 // connection to the cloud (move commands toward wandering targets) and a
 // stream subscription at the supernode. Response latency is measured from
 // action issue to the arrival of the first segment stamped with it.
+//
+// Deprecated: prefer NewPlayer(Config{Role: RolePlayer, ...}).Run(duration).
 func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return PlayerReport{}, err

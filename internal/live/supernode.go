@@ -42,6 +42,10 @@ func validTransport(t string) bool {
 
 // SupernodeConfig parameterizes a live fog supernode. Validate rejects
 // incomplete configurations instead of papering over them with defaults.
+//
+// Deprecated: new code should build a role-tagged Config (Role:
+// RoleSupernode) and use NewSupernode; SupernodeConfig remains as the
+// internal view the unified config projects onto.
 type SupernodeConfig struct {
 	// ID is the supernode's hello identity at the cloud.
 	ID int64
@@ -116,6 +120,14 @@ type Supernode struct {
 	stop chan struct{}
 }
 
+// SessionCount reports the number of live player streams — the occupancy a
+// coordinator-registered worker reports upstream.
+func (sn *Supernode) SessionCount() int {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return len(sn.players)
+}
+
 type playerStream struct {
 	link Transport
 	join proto.JoinStream
@@ -130,6 +142,8 @@ type playerStream struct {
 
 // StartSupernode launches the supernode described by cfg: it dials the
 // cloud and serves players on cfg.Addr.
+//
+// Deprecated: prefer NewSupernode(Config{Role: RoleSupernode, ...}, opts...).
 func StartSupernode(cfg SupernodeConfig) (*Supernode, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,63 @@
+package obs
+
+// CoordStats instruments the coordinator control plane: worker registration
+// churn, placement outcomes, and churn-driven re-placements. The session
+// ledger identity the reconciliation checks is
+//
+//	Placements == ActiveOriginal + ActiveReplaced + Departed
+//
+// where Placements counts first-time tickets only (re-placements increment
+// Replacements, not Placements), ActiveOriginal/ActiveReplaced split live
+// sessions by whether churn ever moved them, and Departed counts sessions
+// that ended — voluntarily or because no worker (and no cloud fallback)
+// could take them after a death.
+type CoordStats struct {
+	Placements   *Counter // first-time session placements ticketed
+	Replacements *Counter // sessions re-placed after a worker death
+	Rejected     *Counter // joins refused (no admitting worker, no fallback)
+	Departed     *Counter // sessions ended and retired from the ledger
+
+	WorkersRegistered *Counter // workers registered (first contact)
+	WorkersLost       *Counter // workers declared dead by the detector
+	WorkersReturned   *Counter // dead workers re-registered
+	ReportsReceived   *Counter // worker capacity/occupancy reports consumed
+
+	PlacementNs *Histogram // per-placement decision latency
+	ReplaceNs   *Histogram // worker death to last session re-placed
+
+	// Sink, when non-nil, receives placement and churn events.
+	Sink EventSink
+}
+
+// NewCoordStats returns a standalone bundle (not registry-backed).
+func NewCoordStats() *CoordStats {
+	return &CoordStats{
+		Placements:        new(Counter),
+		Replacements:      new(Counter),
+		Rejected:          new(Counter),
+		Departed:          new(Counter),
+		WorkersRegistered: new(Counter),
+		WorkersLost:       new(Counter),
+		WorkersReturned:   new(Counter),
+		ReportsReceived:   new(Counter),
+		PlacementNs:       NewHistogram(LatencyBucketsNs()),
+		ReplaceNs:         NewHistogram(LatencyBucketsNs()),
+	}
+}
+
+// CoordStatsIn binds the canonical coordinator metrics in a registry. Like
+// the other bundles it is get-or-create, so server loops share instruments.
+func CoordStatsIn(r *Registry) *CoordStats {
+	return &CoordStats{
+		Placements:        r.Counter("cloudfog_coord_placements_total", "first-time session placements ticketed"),
+		Replacements:      r.Counter("cloudfog_coord_replacements_total", "sessions re-placed after worker death"),
+		Rejected:          r.Counter("cloudfog_coord_rejected_joins_total", "joins refused by admission control"),
+		Departed:          r.Counter("cloudfog_coord_departed_total", "sessions retired from the ledger"),
+		WorkersRegistered: r.Counter("cloudfog_coord_workers_registered_total", "workers registered (first contact)"),
+		WorkersLost:       r.Counter("cloudfog_coord_workers_lost_total", "workers declared dead by the detector"),
+		WorkersReturned:   r.Counter("cloudfog_coord_workers_returned_total", "dead workers re-registered"),
+		ReportsReceived:   r.Counter("cloudfog_coord_reports_total", "worker capacity/occupancy reports consumed"),
+		PlacementNs:       r.Histogram("cloudfog_coord_placement_ns", "per-placement decision latency", LatencyBucketsNs()),
+		ReplaceNs:         r.Histogram("cloudfog_coord_replace_ns", "worker death to session re-placement", LatencyBucketsNs()),
+	}
+}

@@ -47,6 +47,69 @@ func TestAppendMatchesMarshal(t *testing.T) {
 	check("heartbeat", AppendHeartbeat(append([]byte(nil), prefix...), hb), MarshalHeartbeat(hb))
 
 	check("ack", AppendAck(append([]byte(nil), prefix...), Ack{Code: 6}), MarshalAck(Ack{Code: 6}))
+
+	reg := Register{Worker: 1_000_007, Capacity: 16, Load: 3, X: 120.5, Y: -88.25,
+		Transport: StreamUDP, Addr: "127.0.0.1:4321"}
+	check("register", AppendRegister(append([]byte(nil), prefix...), reg), MarshalRegister(reg))
+
+	rep := Report{Worker: 1_000_007, Seq: 99, Load: 7, Capacity: 16}
+	check("report", AppendReport(append([]byte(nil), prefix...), rep), MarshalReport(rep))
+
+	pl := Place{Player: 42, GameID: 4, X: 5000, Y: 4000}
+	check("place", AppendPlace(append([]byte(nil), prefix...), pl), MarshalPlace(pl))
+
+	tk := Ticket{Player: 42, Worker: 1_000_007, Epoch: 12, Issued: 34567,
+		Transport: StreamTCP, Addr: "127.0.0.1:4321",
+		Backups: []string{"127.0.0.1:4322", "127.0.0.1:4323"}, Sig: []byte("0123456789abcdef")}
+	check("ticket", AppendTicket(append([]byte(nil), prefix...), tk), MarshalTicket(tk))
+}
+
+// TestCoordRoundTrips pins encode→decode identity for the coordinator
+// control-plane messages, including the empty-ring and unsigned ticket edge
+// cases.
+func TestCoordRoundTrips(t *testing.T) {
+	reg := Register{Worker: 5, Capacity: 8, Load: 1, X: 1.5, Y: 2.5, Transport: StreamTCP, Addr: "host:1"}
+	gotReg, err := UnmarshalRegister(MarshalRegister(reg))
+	if err != nil || gotReg != reg {
+		t.Fatalf("register round trip: %+v %v", gotReg, err)
+	}
+	rep := Report{Worker: 5, Seq: 3, Load: 2, Capacity: 8}
+	gotRep, err := UnmarshalReport(MarshalReport(rep))
+	if err != nil || gotRep != rep {
+		t.Fatalf("report round trip: %+v %v", gotRep, err)
+	}
+	pl := Place{Player: 9, GameID: 3, X: -4, Y: 4}
+	gotPl, err := UnmarshalPlace(MarshalPlace(pl))
+	if err != nil || gotPl != pl {
+		t.Fatalf("place round trip: %+v %v", gotPl, err)
+	}
+	for _, tk := range []Ticket{
+		{Player: 9, Worker: 5, Epoch: 1, Issued: 77, Transport: StreamUDP,
+			Addr: "host:1", Backups: []string{"host:2", "host:3"}, Sig: []byte("sig")},
+		{Player: 9, Epoch: 2, Addr: "cloud:1"}, // cloud-direct, unsigned, no ring
+	} {
+		got, err := UnmarshalTicket(MarshalTicket(tk))
+		if err != nil {
+			t.Fatalf("ticket round trip: %v", err)
+		}
+		if got.Player != tk.Player || got.Worker != tk.Worker || got.Epoch != tk.Epoch ||
+			got.Issued != tk.Issued || got.Transport != tk.Transport || got.Addr != tk.Addr ||
+			len(got.Backups) != len(tk.Backups) || !bytes.Equal(got.Sig, tk.Sig) {
+			t.Fatalf("ticket round trip mismatch: %+v vs %+v", got, tk)
+		}
+		for i := range tk.Backups {
+			if got.Backups[i] != tk.Backups[i] {
+				t.Fatalf("ticket backup %d: %q vs %q", i, got.Backups[i], tk.Backups[i])
+			}
+		}
+	}
+	// Truncated tickets must error, not decode garbage.
+	full := MarshalTicket(Ticket{Player: 1, Addr: "a:1", Backups: []string{"b:2"}})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := UnmarshalTicket(full[:cut]); err == nil {
+			t.Fatalf("truncated ticket at %d decoded cleanly", cut)
+		}
+	}
 }
 
 // TestAppendSegmentHeaderComposes pins the split encode the render path

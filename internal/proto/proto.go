@@ -42,6 +42,17 @@ const (
 	THello
 	// THeartbeat is a supernode's periodic liveness beacon to the cloud.
 	THeartbeat
+	// TRegister announces a supernode worker to the coordinator: identity,
+	// player-facing address, position, and capacity.
+	TRegister
+	// TReport is a worker's periodic capacity/occupancy report to the
+	// coordinator; the coordinator's failure detector times the gaps.
+	TReport
+	// TPlace asks the coordinator to place a joining player.
+	TPlace
+	// TTicket is the coordinator's signed placement answer: the serving
+	// worker's address plus the backup ring.
+	TTicket
 )
 
 // MaxFrame bounds frame payloads (16 MiB) against corrupt length headers.
