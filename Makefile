@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-all chaos wire coord verify
+.PHONY: build test vet race bench bench-json bench-all chaos wire coord replay record-corpus verify
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,11 @@ race:
 bench:
 	$(GO) run ./cmd/cloudfog-bench
 
-# bench-json records this PR's numbers as BENCH_PR8.json (same schema as
-# BENCH_PR7.json, plus PlacementThroughput) and prints the
+# bench-json records this PR's numbers as BENCH_PR9.json (same schema as
+# BENCH_PR8.json, plus the flight-recorder benches) and prints the
 # recorded-vs-live comparison against the previous PR's file.
 bench-json:
-	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR8.json -baseline BENCH_PR7.json
+	$(GO) run ./cmd/cloudfog-bench -out BENCH_PR9.json -baseline BENCH_PR8.json
 
 # bench-all runs the full per-figure benchmark suite.
 bench-all:
@@ -61,6 +61,35 @@ wire:
 	$(GO) run ./cmd/cloudfog-live -players 4 -supernodes 3 -duration 5s \
 		-transport udp -detector phi -heartbeat 200ms -chaos default
 
+# replay is the flight-recorder regression gate: the committed corpus
+# recordings must replay bit-identically (figure bytes, observability
+# deltas, RNG draw counts) with balanced ledgers, the chaos recording
+# must also verify from its figrecovery checkpoint alone, and the canonical
+# counterfactual — swapping the chaos incident's timeout detector for
+# phi-accrual — must produce a non-empty, ledger-reconciled QoE diff.
+# Any byte or ledger divergence fails the target.
+replay:
+	$(GO) test -race -count=1 ./internal/flight/
+	$(GO) run -race ./cmd/cloudfog-replay examples/flight/chaos.flight
+	$(GO) run -race ./cmd/cloudfog-replay examples/flight/sharded.flight
+	$(GO) run -race ./cmd/cloudfog-replay -from figrecovery examples/flight/chaos.flight
+	$(GO) run -race ./cmd/cloudfog-replay -whatif detector=phi -expect-diff \
+		examples/flight/chaos.flight
+
+# record-corpus regenerates the committed corpus recordings. Run it only
+# when an intentional determinism-contract change invalidates them — the
+# diff then shows exactly which figures moved.
+record-corpus:
+	$(GO) run ./cmd/cloudfog-sim -figures figchurn,figrecovery \
+		-players 400 -supernodes 25 -datacenters 3 -horizon 60s \
+		-detector timeout -overload -breaker \
+		-faults examples/flight/profile.json \
+		-record examples/flight/chaos.flight
+	$(GO) run ./cmd/cloudfog-sim -figures figscale \
+		-players 400 -supernodes 25 -datacenters 3 -horizon 90s \
+		-shards 4 -detector phi -overload \
+		-record examples/flight/sharded.flight
+
 # coord is the control-plane smoke: the coordinator suite (placement,
 # churn property test, and the multi-process kill test) under the race
 # detector, then the one-process churn demo — cloud, coordinator, three
@@ -72,5 +101,6 @@ coord:
 		-duration 4s -report coord_report.json
 
 # verify is the CI gate: static checks, the race-enabled suite, the chaos
-# smoke, the wire smoke, and the coordinator smoke.
-verify: vet race chaos wire coord
+# smoke, the wire smoke, the coordinator smoke, and the flight-recorder
+# replay gate.
+verify: vet race chaos wire coord replay

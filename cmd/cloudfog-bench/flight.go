@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudfog/internal/flight"
+)
+
+// flightSpec is the fixed recording scenario the flight benchmarks run: a
+// bench-scale sharded scaling incident under the phi detector with the
+// overload ladder — the same shape as the ShardedRun benchmark, small
+// enough to iterate.
+func flightSpec() flight.RunSpec {
+	return flight.RunSpec{
+		Seed:        2026,
+		Players:     2500,
+		Supernodes:  200,
+		Datacenters: 5,
+		Shards:      2,
+		Horizon:     20 * time.Second,
+		Epoch:       10 * time.Second,
+		Detector:    "phi",
+		Overload:    true,
+		Figures:     []string{"figscale"},
+	}
+}
+
+// registerFlightBenches measures what the flight recorder costs on top of
+// the run it captures. FlightRun is the uninstrumented-recorder baseline
+// (the identical spec executed without capturing), FlightRecordOverhead is
+// the full Record path (canonical encodings, schedule marshalling, chunk
+// framing included), and FlightReplay is the verification re-run against a
+// prebuilt recording. The Record/Run gap is the recording overhead budget
+// the ISSUE caps; it is printed explicitly after the three records.
+func registerFlightBenches(out map[string]Result) {
+	spec, err := flightSpec().Normalize()
+	if err != nil {
+		panic(err)
+	}
+
+	record(out, "FlightRun", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := spec.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	record(out, "FlightRecordOverhead", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec, err := flight.Record(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(flight.Encode(rec)) == 0 {
+				b.Fatal("empty recording")
+			}
+		}
+	})
+
+	rec, err := flight.Record(spec)
+	if err != nil {
+		panic(err)
+	}
+	record(out, "FlightReplay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := rec.Replay("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Identical() {
+				b.Fatal("bench replay diverged")
+			}
+		}
+	})
+
+	run, recd := out["FlightRun"].NsPerOp, out["FlightRecordOverhead"].NsPerOp
+	if run > 0 {
+		fmt.Printf("%-28s %+11.2f%% (record vs plain instrumented run)\n",
+			"FlightOverheadPct", (recd-run)/run*100)
+	}
+}

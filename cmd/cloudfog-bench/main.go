@@ -117,7 +117,7 @@ func compare(baselinePath string, live map[string]Result) error {
 }
 
 func main() {
-	outPath := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	baseline := flag.String("baseline", "", "recorded results to compare against (e.g. BENCH_PR2.json; empty = no comparison)")
 	smoke := flag.Bool("wire-smoke", false, "run only the coalesced wire transfer and assert batching engaged (CI smoke)")
 	flag.Parse()
@@ -324,6 +324,7 @@ func main() {
 
 	registerWireBenches(results)
 	registerCoordBenches(results)
+	registerFlightBenches(results)
 
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

@@ -1,0 +1,148 @@
+// Command cloudfog-replay inspects, verifies, and counterfactually diffs
+// flight recordings produced by cloudfog-sim -record.
+//
+// With only a recording argument it describes the file (spec, figures,
+// schedule checksums, world fingerprint) and re-runs it, failing with a
+// non-zero exit on any byte or ledger divergence — the regression-corpus
+// gate `make replay` runs. -from starts the verification at a recorded
+// figure checkpoint; -describe skips the re-run.
+//
+// -whatif re-runs the recording with exactly one knob overridden (detector
+// kind, shard count, bandwidth scale, population, …) and prints the
+// structured QoE diff against the recorded baseline, reconciling both
+// sides' observability ledgers first. -expect-diff makes an empty diff an
+// error; -json writes the diff (or replay report) to a file.
+//
+// Usage:
+//
+//	cloudfog-replay examples/flight/chaos.flight
+//	cloudfog-replay -from figscale examples/flight/sharded.flight
+//	cloudfog-replay -describe examples/flight/chaos.flight
+//	cloudfog-replay -whatif detector=phi -expect-diff examples/flight/chaos.flight
+//	cloudfog-replay -whatif bandwidth=0.5 -json diff.json examples/flight/sharded.flight
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudfog/internal/flight"
+)
+
+var (
+	describeFlag   = flag.Bool("describe", false, "print the recording's contents without re-running it")
+	fromFlag       = flag.String("from", "", "start the replay at this recorded figure checkpoint")
+	whatifFlag     = flag.String("whatif", "", "override one knob (key=value) and diff against the recorded baseline")
+	expectDiffFlag = flag.Bool("expect-diff", false, "with -whatif: exit non-zero if the override changes nothing observable")
+	jsonFlag       = flag.String("json", "", "write the replay report or what-if diff as JSON to this file")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cloudfog-replay [flags] recording.flight")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfog-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	rec, err := flight.Load(path)
+	if err != nil {
+		return err
+	}
+	describe(path, rec)
+	if *describeFlag {
+		return nil
+	}
+	if *whatifFlag != "" {
+		return whatif(rec)
+	}
+	return verify(path, rec)
+}
+
+// describe prints the recording's inventory.
+func describe(path string, rec *flight.Recording) {
+	fmt.Printf("%s: flight recording v%d\n", path, rec.Version)
+	fmt.Printf("  spec:  %s\n", rec.Spec.Summary())
+	fmt.Printf("  world: fingerprint %08x\n", rec.WorldFP)
+	for _, sc := range rec.Schedules {
+		fmt.Printf("  schedule %-12s %6d bytes, crc %08x\n", sc.Label, len(sc.Bytes), sc.Checksum)
+	}
+	for _, fc := range rec.Figures {
+		fmt.Printf("  figure %-12s %6d bytes, obs delta %d counters", fc.Name, len(fc.FigBytes), len(fc.ObsDelta.Counters))
+		if len(fc.RNG) > 0 {
+			var draws uint64
+			for _, s := range fc.RNG {
+				draws += s.Draws
+			}
+			fmt.Printf(", %d RNG streams (%d draws)", len(fc.RNG), draws)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  final: %d counters, %d histograms\n", len(rec.Final.Counters), len(rec.Final.Histograms))
+}
+
+// verify re-runs the recording and fails on any divergence.
+func verify(path string, rec *flight.Recording) error {
+	rep, err := rec.Replay(*fromFlag)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if *jsonFlag != "" {
+		if err := writeJSON(*jsonFlag, rep); err != nil {
+			return err
+		}
+	}
+	if !rep.Identical() {
+		return fmt.Errorf("replay of %s diverged from the recording", path)
+	}
+	if err := flight.Reconcile(rec.Final).Err(); err != nil {
+		return err
+	}
+	fmt.Println("ledgers: balanced")
+	return nil
+}
+
+// whatif runs the counterfactual and prints the diff.
+func whatif(rec *flight.Recording) error {
+	d, err := rec.WhatIf(*whatifFlag, "")
+	if err != nil {
+		return err
+	}
+	d.WriteText(os.Stdout)
+	if *jsonFlag != "" {
+		if err := writeJSON(*jsonFlag, d); err != nil {
+			return err
+		}
+	}
+	if *expectDiffFlag && d.Empty() {
+		return fmt.Errorf("what-if %s changed nothing observable", *whatifFlag)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("JSON written to %s\n", path)
+	return nil
+}

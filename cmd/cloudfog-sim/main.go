@@ -19,6 +19,13 @@
 // same crash schedule and the -report health ledger reconciles every
 // observed kill against detections.
 //
+// -record captures the run as a flight recording: the launch spec, the
+// compiled fault schedules, canonical figure bytes, per-figure
+// observability deltas, and the sharded data plane's RNG witness. -replay
+// re-runs a recording and verifies it bit-identically (-replay-from starts
+// at a recorded figure checkpoint), and -whatif re-runs it with exactly one
+// knob overridden and prints the ledger-reconciled QoE diff.
+//
 // Usage:
 //
 //	cloudfog-sim -figures all
@@ -27,6 +34,10 @@
 //	cloudfog-sim -figures figrecovery -faults examples/chaos/profile.json -report chaos.json
 //	cloudfog-sim -figures figdetect -report detect.json
 //	cloudfog-sim -figures figchurn -detector phi -overload -breaker
+//	cloudfog-sim -figures figscale -detector timeout -record incident.flight
+//	cloudfog-sim -replay incident.flight
+//	cloudfog-sim -replay incident.flight -replay-from figscale
+//	cloudfog-sim -replay incident.flight -whatif detector=phi -expect-diff
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 
 	"cloudfog/internal/experiment"
 	"cloudfog/internal/fault"
+	"cloudfog/internal/flight"
 	"cloudfog/internal/metrics"
 	"cloudfog/internal/obs"
 	"cloudfog/internal/trace"
@@ -66,6 +78,11 @@ var (
 	epochFlag      = flag.Duration("epoch", 0, "sharded-run barrier interval (0 = 15s default)")
 	nodeBudgetFlag = flag.Int("scale-nodes", 0, "sharded scaling run: supernodes sampled for segment-level QoE per epoch (0 = 32 default, negative = all)")
 	scaleFlag      = flag.Bool("scale", false, "run only the sharded scaling experiment (figscale) and print its timing and shard diagnostics")
+	recordFlag     = flag.String("record", "", "run the selected figures under the flight recorder and write the recording to this file")
+	replayFlag     = flag.String("replay", "", "replay a flight recording and verify it bit-identically (figure flags are ignored; the recording's spec drives the run)")
+	replayFromFlag = flag.String("replay-from", "", "start the replay at this recorded figure checkpoint, skipping (and trusting) earlier figures")
+	whatifFlag     = flag.String("whatif", "", "with -replay: re-run the recording with one knob overridden (key=value, e.g. detector=phi) and print the QoE diff")
+	expectDiffFlag = flag.Bool("expect-diff", false, "with -whatif: exit non-zero if the override changes nothing observable")
 	cpuProfFlag    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -118,6 +135,12 @@ func selection() string {
 }
 
 func run() error {
+	if *replayFlag != "" {
+		return runReplay()
+	}
+	if *recordFlag != "" {
+		return runRecord()
+	}
 	figs, err := experiment.SelectFigures(selection())
 	if err != nil {
 		return err
@@ -182,32 +205,145 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", fig.Name, err)
 		}
-		title := fig.Title
-		if res.Title != "" {
-			title = res.Title
-		}
-		fmt.Println(title)
-		switch {
-		case len(res.Latency) > 0:
-			for _, r := range res.Latency {
-				fmt.Printf("  %-12s mean=%-8v median=%-8v p90=%v\n",
-					r.System, r.Mean.Round(time.Millisecond),
-					r.Median.Round(time.Millisecond), r.P90.Round(time.Millisecond))
-			}
-			fmt.Println()
-		default:
-			if *csvFlag {
-				fmt.Println(csvTable(fig.XLabel, res.Series))
-			} else {
-				fmt.Println(metrics.Table(fig.XLabel, res.Series))
-			}
-		}
+		printFigure(fig, res)
 	}
 
 	if *reportFlag != "" {
-		if err := writeReport(*reportFlag, cfg.Obs); err != nil {
+		if err := writeReport(*reportFlag, cfg.Obs.Snapshot()); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// printFigure renders one figure result the way the CLI always has.
+func printFigure(fig experiment.Figure, res experiment.FigureResult) {
+	title := fig.Title
+	if res.Title != "" {
+		title = res.Title
+	}
+	fmt.Println(title)
+	switch {
+	case len(res.Latency) > 0:
+		for _, r := range res.Latency {
+			fmt.Printf("  %-12s mean=%-8v median=%-8v p90=%v\n",
+				r.System, r.Mean.Round(time.Millisecond),
+				r.Median.Round(time.Millisecond), r.P90.Round(time.Millisecond))
+		}
+		fmt.Println()
+	default:
+		if *csvFlag {
+			fmt.Println(csvTable(fig.XLabel, res.Series))
+		} else {
+			fmt.Println(metrics.Table(fig.XLabel, res.Series))
+		}
+	}
+}
+
+// specFromFlags lifts the CLI invocation into a flight.RunSpec — the
+// launch half of a recording.
+func specFromFlags() (flight.RunSpec, error) {
+	spec := flight.RunSpec{
+		Seed:         *seedFlag,
+		Players:      *playersFlag,
+		Supernodes:   *supernodesFlag,
+		Datacenters:  *dcsFlag,
+		Shards:       *shardsFlag,
+		SweepWorkers: *workersFlag,
+		Horizon:      *horizonFlag,
+		Epoch:        *epochFlag,
+		NodeBudget:   *nodeBudgetFlag,
+		Detector:     *detectorFlag,
+		Overload:     *overloadFlag,
+		Breaker:      *breakerFlag,
+	}
+	if sel := strings.TrimSpace(selection()); sel != "" && !strings.EqualFold(sel, "all") {
+		spec.Figures = strings.Split(sel, ",")
+	}
+	if *faultsFlag != "" {
+		data, err := os.ReadFile(*faultsFlag)
+		if err != nil {
+			return spec, err
+		}
+		spec.FaultProfile = data
+	}
+	return spec.Normalize()
+}
+
+// runRecord executes the selected figures under the flight recorder,
+// prints them as usual, and persists the recording.
+func runRecord() error {
+	spec, err := specFromFlags()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CloudFog flight recorder — %s\n\n", spec.Summary())
+	rec, err := flight.Record(spec)
+	if err != nil {
+		return err
+	}
+	for _, fc := range rec.Figures {
+		fig, err := experiment.FigureByName(fc.Name)
+		if err != nil {
+			return err
+		}
+		printFigure(fig, fc.Fig)
+	}
+	if err := flight.Save(*recordFlag, rec); err != nil {
+		return err
+	}
+	data := flight.Encode(rec)
+	fmt.Printf("flight recording written to %s (%d bytes, %d figures, %d schedules, world %08x)\n",
+		*recordFlag, len(data), len(rec.Figures), len(rec.Schedules), rec.WorldFP)
+	if *reportFlag != "" {
+		return writeReport(*reportFlag, rec.Final)
+	}
+	return nil
+}
+
+// runReplay verifies a recording (or, with -whatif, diffs a counterfactual
+// against it). A divergent replay and an unexpectedly empty what-if diff
+// both exit non-zero.
+func runReplay() error {
+	rec, err := flight.Load(*replayFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flight recording %s — %s\n", *replayFlag, rec.Spec.Summary())
+	if *whatifFlag != "" {
+		d, err := rec.WhatIf(*whatifFlag, "")
+		if err != nil {
+			return err
+		}
+		d.WriteText(os.Stdout)
+		if *expectDiffFlag && d.Empty() {
+			return fmt.Errorf("what-if %s changed nothing observable", *whatifFlag)
+		}
+		if *reportFlag != "" {
+			f, err := os.Create(*reportFlag)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(d); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("what-if diff written to %s\n", *reportFlag)
+		}
+		return nil
+	}
+	rep, err := rec.Replay(*replayFromFlag)
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if !rep.Identical() {
+		return fmt.Errorf("replay of %s diverged from the recording", *replayFlag)
 	}
 	return nil
 }
@@ -235,103 +371,32 @@ func runScale(w *experiment.World, opts experiment.RunOptions) error {
 }
 
 // runReport is the -report JSON payload: the raw instrument snapshot plus
-// the segment-ledger reconciliation derived from it.
+// the ledger reconciliations derived from it. The ledgers are the flight
+// package's — the same conservation laws the what-if mode enforces on both
+// sides of a counterfactual — so a -report run and a recording reconcile
+// through one code path.
 type runReport struct {
-	Snapshot       obs.Snapshot   `json:"snapshot"`
-	Reconciliation reconciliation `json:"reconciliation"`
+	Snapshot       obs.Snapshot         `json:"snapshot"`
+	Reconciliation flight.SegmentLedger `json:"reconciliation"`
 	// Faults reconciles the fault-injection orphan ledger when the run
 	// injected any faults; omitted otherwise.
-	Faults *faultRecon `json:"faults,omitempty"`
+	Faults *flight.FaultLedger `json:"faults,omitempty"`
 	// Health reconciles the heartbeat detection ledger when any run used a
 	// heartbeat detector; omitted otherwise.
-	Health *healthRecon `json:"health,omitempty"`
+	Health *flight.HealthLedger `json:"health,omitempty"`
 }
 
-type reconciliation struct {
-	SegmentsGenerated   int64 `json:"segments_generated"`
-	SegmentsDelivered   int64 `json:"segments_delivered"`
-	SegmentsDropped     int64 `json:"segments_dropped"`
-	SegmentsInFlightEnd int64 `json:"segments_inflight_end"`
-	// Balanced is generated == delivered + dropped + in-flight: every
-	// segment the encoders produced is accounted for.
-	Balanced bool `json:"balanced"`
-}
-
-// faultRecon is the injected-fault ledger: every orphaned player must be
-// absorbed by a backup, reassigned through the full protocol, lapsed to
-// unserved, or still awaiting a pending repair at the horizon.
-type faultRecon struct {
-	Kills      int64 `json:"kills"`
-	Recoveries int64 `json:"recoveries"`
-	Orphaned   int64 `json:"orphaned"`
-	BackupHits int64 `json:"failover_backup_hits"`
-	Reassigns  int64 `json:"failover_reassigns"`
-	Lapsed     int64 `json:"lapsed"`
-	PendingEnd int64 `json:"pending_end"`
-	// OrphansBalanced is orphaned == backup hits + reassigns + lapsed +
-	// pending.
-	OrphansBalanced bool `json:"orphans_balanced"`
-}
-
-// healthRecon is the failure-detection ledger: every kill applied under a
-// heartbeat monitor is either detected or still pending at the horizon, and
-// false positives count live nodes wrongly suspected.
-type healthRecon struct {
-	HeartbeatsSent int64 `json:"heartbeats_sent"`
-	HeartbeatsLost int64 `json:"heartbeats_lost"`
-	KillsObserved  int64 `json:"kills_observed"`
-	Detected       int64 `json:"detected"`
-	DetectPending  int64 `json:"detect_pending"`
-	FalsePositives int64 `json:"false_positives"`
-	// KillsBalanced is detected + detect_pending == kills_observed.
-	KillsBalanced bool `json:"kills_balanced"`
-}
-
-func writeReport(path string, reg *obs.Registry) error {
-	snap := reg.Snapshot()
-	rec := reconciliation{
-		SegmentsGenerated:   snap.Counters["cloudfog_qoe_segments_generated_total"],
-		SegmentsDelivered:   snap.Counters["cloudfog_qoe_segments_delivered_total"],
-		SegmentsDropped:     snap.Counters["cloudfog_qoe_segments_dropped_total"],
-		SegmentsInFlightEnd: snap.Counters["cloudfog_qoe_segments_inflight_end_total"],
-	}
-	rec.Balanced = rec.SegmentsGenerated ==
-		rec.SegmentsDelivered+rec.SegmentsDropped+rec.SegmentsInFlightEnd
-	var faults *faultRecon
-	if snap.Counters["cloudfog_fault_kills_total"] > 0 ||
-		snap.Counters["cloudfog_fault_orphaned_total"] > 0 {
-		faults = &faultRecon{
-			Kills:      snap.Counters["cloudfog_fault_kills_total"],
-			Recoveries: snap.Counters["cloudfog_fault_recoveries_total"],
-			Orphaned:   snap.Counters["cloudfog_fault_orphaned_total"],
-			BackupHits: snap.Counters["cloudfog_assign_failover_backup_total"],
-			Reassigns:  snap.Counters["cloudfog_assign_failover_rerun_total"],
-			Lapsed:     snap.Counters["cloudfog_fault_lapsed_total"],
-			PendingEnd: snap.Counters["cloudfog_fault_pending_end_total"],
-		}
-		faults.OrphansBalanced = faults.Orphaned ==
-			faults.BackupHits+faults.Reassigns+faults.Lapsed+faults.PendingEnd
-	}
-	var hl *healthRecon
-	if snap.Counters["cloudfog_health_heartbeats_sent_total"] > 0 ||
-		snap.Counters["cloudfog_health_kills_observed_total"] > 0 {
-		hl = &healthRecon{
-			HeartbeatsSent: snap.Counters["cloudfog_health_heartbeats_sent_total"],
-			HeartbeatsLost: snap.Counters["cloudfog_health_heartbeats_lost_total"],
-			KillsObserved:  snap.Counters["cloudfog_health_kills_observed_total"],
-			Detected:       snap.Counters["cloudfog_health_detected_total"],
-			DetectPending:  snap.Counters["cloudfog_health_detect_pending_total"],
-			FalsePositives: snap.Counters["cloudfog_health_false_positives_total"],
-		}
-		hl.KillsBalanced = hl.KillsObserved == hl.Detected+hl.DetectPending
-	}
+func writeReport(path string, snap obs.Snapshot) error {
+	ledgers := flight.Reconcile(snap)
+	rec := ledgers.Segments
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(runReport{Snapshot: snap, Reconciliation: rec, Faults: faults, Health: hl}); err != nil {
+	if err := enc.Encode(runReport{Snapshot: snap, Reconciliation: rec,
+		Faults: ledgers.Faults, Health: ledgers.Health}); err != nil {
 		f.Close()
 		return err
 	}
@@ -339,29 +404,17 @@ func writeReport(path string, reg *obs.Registry) error {
 		return err
 	}
 	fmt.Printf("observability report written to %s (generated=%d delivered=%d dropped=%d inflight=%d)\n",
-		path, rec.SegmentsGenerated, rec.SegmentsDelivered, rec.SegmentsDropped, rec.SegmentsInFlightEnd)
-	if !rec.Balanced {
-		return fmt.Errorf("segment ledger does not balance: %d generated vs %d delivered + %d dropped + %d in flight",
-			rec.SegmentsGenerated, rec.SegmentsDelivered, rec.SegmentsDropped, rec.SegmentsInFlightEnd)
-	}
-	if faults != nil {
+		path, rec.Generated, rec.Delivered, rec.Dropped, rec.InFlightEnd)
+	if faults := ledgers.Faults; faults != nil {
 		fmt.Printf("fault ledger: kills=%d recoveries=%d orphaned=%d backup_hits=%d reassigns=%d lapsed=%d pending=%d\n",
 			faults.Kills, faults.Recoveries, faults.Orphaned, faults.BackupHits,
 			faults.Reassigns, faults.Lapsed, faults.PendingEnd)
-		if !faults.OrphansBalanced {
-			return fmt.Errorf("fault orphan ledger does not balance: %d orphaned vs %d backup + %d reassigned + %d lapsed + %d pending",
-				faults.Orphaned, faults.BackupHits, faults.Reassigns, faults.Lapsed, faults.PendingEnd)
-		}
 	}
-	if hl != nil {
+	if hl := ledgers.Health; hl != nil {
 		fmt.Printf("health ledger: heartbeats=%d (lost %d) kills_observed=%d detected=%d pending=%d false_positives=%d\n",
 			hl.HeartbeatsSent, hl.HeartbeatsLost, hl.KillsObserved, hl.Detected, hl.DetectPending, hl.FalsePositives)
-		if !hl.KillsBalanced {
-			return fmt.Errorf("health detection ledger does not balance: %d kills observed vs %d detected + %d pending",
-				hl.KillsObserved, hl.Detected, hl.DetectPending)
-		}
 	}
-	return nil
+	return ledgers.Err()
 }
 
 // csvTable renders series as CSV: header then one row per x value.

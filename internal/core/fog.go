@@ -61,6 +61,13 @@ type probe struct {
 	delay time.Duration
 }
 
+// RandDraws returns how many draws the fog's geolocation stream has made —
+// the control plane's RNG witness for the flight recorder. The count is a
+// pure function of the join/failover history, so a replay that diverges
+// anywhere in the assignment protocol shows up here even when the figure
+// bytes happen to agree.
+func (f *Fog) RandDraws() uint64 { return f.rng.Draws() }
+
 // emit forwards an assignment event to the configured sink, if any.
 func (f *Fog) emit(kind obs.EventKind, node, player, a int64) {
 	o := f.cfg.Obs

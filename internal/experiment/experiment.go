@@ -20,6 +20,7 @@ import (
 	"cloudfog/internal/geo"
 	"cloudfog/internal/metrics"
 	"cloudfog/internal/obs"
+	"cloudfog/internal/recfmt"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/trace"
 	"cloudfog/internal/workload"
@@ -146,6 +147,46 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Fingerprint digests the generated world — every player's identity,
+// position, downlink, and capability flag, the supernode specs, and the
+// infrastructure placements — into one CRC-protected value. The flight
+// recorder stamps it into each recording and checks it before replaying:
+// a replay that reconstructs a different world (changed generation code, a
+// different workload default) fails immediately instead of producing a
+// confusing figure-byte divergence ten minutes in.
+func (w *World) Fingerprint() uint32 {
+	var b []byte
+	b = recfmt.AppendVarint(b, w.Cfg.Seed)
+	b = recfmt.AppendUvarint(b, uint64(len(w.Pop.Players)))
+	for _, p := range w.Pop.Players {
+		b = recfmt.AppendVarint(b, p.ID)
+		b = recfmt.AppendFloat64(b, p.Pos.X)
+		b = recfmt.AppendFloat64(b, p.Pos.Y)
+		b = recfmt.AppendVarint(b, p.Downlink)
+		cap := uint64(0)
+		if p.SupernodeCapable {
+			cap = 1
+		}
+		b = recfmt.AppendUvarint(b, cap)
+	}
+	b = recfmt.AppendUvarint(b, uint64(len(w.snSpec)))
+	for _, sp := range w.snSpec {
+		b = recfmt.AppendVarint(b, sp.id)
+		b = recfmt.AppendFloat64(b, sp.pos.X)
+		b = recfmt.AppendFloat64(b, sp.pos.Y)
+		b = recfmt.AppendVarint(b, int64(sp.capacity))
+		b = recfmt.AppendVarint(b, sp.uplink)
+	}
+	for _, pts := range [][]geo.Point{w.dcPts, w.srvPts} {
+		b = recfmt.AppendUvarint(b, uint64(len(pts)))
+		for _, pt := range pts {
+			b = recfmt.AppendFloat64(b, pt.X)
+			b = recfmt.AppendFloat64(b, pt.Y)
+		}
+	}
+	return recfmt.Checksum(b)
 }
 
 // Datacenters mints n fresh datacenter instances.

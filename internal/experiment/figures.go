@@ -9,6 +9,7 @@ import (
 	"cloudfog/internal/fault"
 	"cloudfog/internal/health"
 	"cloudfog/internal/metrics"
+	"cloudfog/internal/shard"
 )
 
 // RunOptions is the shared knob set every registered figure accepts. The
@@ -62,6 +63,12 @@ type RunOptions struct {
 	// of (seed, epoch, node), so it is partition-invariant. 0 uses the
 	// default of 32; pass a negative value to simulate every node.
 	ScaleNodeBudget int
+	// ScaleDiag, when non-nil, receives the shard.Result of every scaling
+	// run executed with these options. The flight recorder uses it to
+	// capture the partition diagnostics — per-shard RNG seeds and draw
+	// counts — that never feed figure bytes and so cannot be recovered
+	// from a FigureResult.
+	ScaleDiag func(shard.Result)
 }
 
 // healthOptions resolves the run's failure-handling knobs, rejecting unknown

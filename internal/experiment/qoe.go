@@ -14,8 +14,8 @@ import (
 	"cloudfog/internal/shard"
 	"cloudfog/internal/sim"
 	"cloudfog/internal/trace"
-	"cloudfog/internal/world"
 	"cloudfog/internal/workload"
+	"cloudfog/internal/world"
 )
 
 // nodeStatsFor binds the canonical QoE metrics in the world's registry and

@@ -118,14 +118,21 @@ func DefaultChaosProfile(seed int64) *fault.Profile {
 	}
 }
 
-// resilienceProfile resolves the profile a resilience figure runs: the
+// ResilienceProfile resolves the profile a resilience figure runs: the
 // caller-supplied one, or the built-in chaos scenario keyed by the world
-// seed so the run stays a pure function of (seed, options).
-func resilienceProfile(w *World, o RunOptions) *fault.Profile {
+// seed so the run stays a pure function of (seed, options). Exported so the
+// flight recorder can compile and fingerprint the exact injected-event log
+// figchurn and figrecovery will replay.
+func ResilienceProfile(w *World, o RunOptions) *fault.Profile {
 	if o.Faults != nil {
 		return o.Faults
 	}
 	return DefaultChaosProfile(w.Cfg.Seed + 600)
+}
+
+// resilienceProfile is the internal alias of ResilienceProfile.
+func resilienceProfile(w *World, o RunOptions) *fault.Profile {
+	return ResilienceProfile(w, o)
 }
 
 // churnRateProfile is one figchurn point: rate supernode kills per minute at

@@ -31,6 +31,14 @@ func scaleChaosProfile(seed int64, duration time.Duration) *fault.Profile {
 	}
 }
 
+// ScaleProfile returns the fault scenario the scaling figure replays for
+// this world and options — exported so the flight recorder can compile and
+// fingerprint the same injected-event log the run will interpret.
+func ScaleProfile(w *World, o RunOptions) *fault.Profile {
+	o = o.filled()
+	return scaleChaosProfile(w.Cfg.Seed+700, o.Horizon)
+}
+
 // ScaleRun executes the sharded single-run scaling experiment (figscale):
 // the whole population joins one fog, the scale chaos profile churns the
 // supernodes, and Cfg.Shards shard slices run the data plane (heartbeat
@@ -82,6 +90,9 @@ func ScaleRun(w *World, o RunOptions) (shard.Result, FigureResult, error) {
 		return res, FigureResult{}, err
 	}
 	w.LeaveAll(fog, players)
+	if o.ScaleDiag != nil {
+		o.ScaleDiag(res)
+	}
 
 	served := metrics.Series{Label: "served"}
 	fogServed := metrics.Series{Label: "fog-served"}

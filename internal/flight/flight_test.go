@@ -1,0 +1,322 @@
+package flight
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSpec is a small world the record/replay tests can afford dozens of
+// times: enough supernodes for a real kd partition, few enough players
+// that a 45-second horizon runs in milliseconds (mirrors the experiment
+// package's scaleTestConfig).
+func testSpec(seed int64, shards int) RunSpec {
+	return RunSpec{
+		Seed:        seed,
+		Players:     400,
+		Supernodes:  25,
+		Datacenters: 3,
+		Shards:      shards,
+		Horizon:     45 * time.Second,
+		Epoch:       15 * time.Second,
+		Figures:     []string{"figscale"},
+	}
+}
+
+// TestRecordReplayProperty is the tentpole property test: for 16 seeds and
+// shard counts 1 and 4, a recorded run decodes from its own bytes and
+// replays bit-identically — figure bytes, per-figure observability deltas,
+// RNG draw counts, compiled schedules, and the final snapshot all match.
+// Odd seeds run the phi detector with the overload ladder so both
+// detection paths are covered, and the figure bytes must also agree across
+// the two shard counts (the recorder inherits the shard-invariance
+// contract).
+func TestRecordReplayProperty(t *testing.T) {
+	for seed := int64(1); seed <= 16; seed++ {
+		var acrossShards [][]byte
+		for _, shards := range []int{1, 4} {
+			spec := testSpec(seed, shards)
+			if seed%2 == 1 {
+				spec.Detector = "phi"
+				spec.Overload = true
+			}
+			rec, err := Record(spec)
+			if err != nil {
+				t.Fatalf("seed %d shards %d: record: %v", seed, shards, err)
+			}
+			if len(rec.Figures) != 1 || rec.Figures[0].Name != "figscale" {
+				t.Fatalf("seed %d shards %d: captured %d figures", seed, shards, len(rec.Figures))
+			}
+			if len(rec.Figures[0].RNG) != shards+1 {
+				t.Fatalf("seed %d shards %d: %d RNG streams, want %d",
+					seed, shards, len(rec.Figures[0].RNG), shards+1)
+			}
+			for _, s := range rec.Figures[0].RNG {
+				if s.Draws == 0 {
+					t.Fatalf("seed %d shards %d: stream %s consumed no draws", seed, shards, s.Label)
+				}
+			}
+			if len(rec.Schedules) != 1 || rec.Schedules[0].Label != "scale" {
+				t.Fatalf("seed %d shards %d: schedules %+v", seed, shards, rec.Schedules)
+			}
+
+			data := Encode(rec)
+			dec, err := Decode(data)
+			if err != nil {
+				t.Fatalf("seed %d shards %d: decode: %v", seed, shards, err)
+			}
+			if !bytes.Equal(Encode(dec), data) {
+				t.Fatalf("seed %d shards %d: encode/decode round trip is not byte-stable", seed, shards)
+			}
+
+			rep, err := dec.Replay("")
+			if err != nil {
+				t.Fatalf("seed %d shards %d: replay: %v", seed, shards, err)
+			}
+			if !rep.Identical() {
+				t.Fatalf("seed %d shards %d: replay diverged: %+v", seed, shards, rep.Divergences)
+			}
+			acrossShards = append(acrossShards, rec.Figures[0].FigBytes)
+		}
+		if !bytes.Equal(acrossShards[0], acrossShards[1]) {
+			t.Fatalf("seed %d: figure bytes differ between 1 and 4 shards", seed)
+		}
+	}
+}
+
+// TestReplayFromCheckpoint verifies the checkpoint-suffix path: a recording
+// of two figures replays from the second alone, skipping the first, and
+// still verifies bit-identically; a checkpoint name outside the selection
+// is rejected.
+func TestReplayFromCheckpoint(t *testing.T) {
+	spec := testSpec(5, 2)
+	spec.Figures = []string{"fig9a", "figscale"}
+	spec.ContinuityCounts = []int{50, 100}
+	spec.Horizon = 30 * time.Second
+	rec, err := Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Figures) != 2 {
+		t.Fatalf("captured %d figures, want 2", len(rec.Figures))
+	}
+	rep, err := rec.Replay("figscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("checkpoint replay diverged: %+v", rep.Divergences)
+	}
+	if len(rep.Skipped) != 1 || rep.Skipped[0] != "fig9a" {
+		t.Fatalf("skipped %v, want [fig9a]", rep.Skipped)
+	}
+	if len(rep.Checked) != 1 || rep.Checked[0] != "figscale" {
+		t.Fatalf("checked %v, want [figscale]", rep.Checked)
+	}
+	if _, err := rec.Replay("fig5a"); err == nil {
+		t.Fatal("checkpoint outside the selection was accepted")
+	}
+}
+
+// TestReplayDetectsTampering flips one recorded figure byte and one RNG
+// draw count and expects the replay to report the divergence rather than
+// pass.
+func TestReplayDetectsTampering(t *testing.T) {
+	rec, err := Record(testSpec(7, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *rec
+	tampered.Figures = append([]FigureCapture(nil), rec.Figures...)
+	fb := append([]byte(nil), rec.Figures[0].FigBytes...)
+	fb[len(fb)-1] ^= 0x01
+	tampered.Figures[0].FigBytes = fb
+	rep, err := tampered.Replay("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical() {
+		t.Fatal("tampered figure bytes replayed as identical")
+	}
+
+	tampered = *rec
+	tampered.Figures = append([]FigureCapture(nil), rec.Figures...)
+	rng := append([]RNGStream(nil), rec.Figures[0].RNG...)
+	rng[0].Draws++
+	tampered.Figures[0].RNG = rng
+	rep, err = tampered.Replay("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical() {
+		t.Fatal("tampered RNG witness replayed as identical")
+	}
+}
+
+// TestDecodeRejectsCorruption covers the loud-failure contract: flipped
+// payload bytes, truncation, a wrong magic, and a future version must all
+// fail to decode.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	rec, err := Record(testSpec(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(rec)
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("pristine recording failed to decode: %v", err)
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Decode(flipped); err == nil {
+		t.Fatal("bit-flipped recording decoded")
+	}
+
+	if _, err := Decode(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated recording decoded")
+	}
+
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] = 'X'
+	if _, err := Decode(badMagic); err == nil {
+		t.Fatal("wrong magic decoded")
+	}
+
+	future := append([]byte(nil), data...)
+	future[4] = Version + 1 // single-byte uvarint version
+	if _, err := Decode(future); err == nil {
+		t.Fatal("future version decoded")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version error does not mention version: %v", err)
+	}
+}
+
+// TestSpecRoundTrip encodes a fully populated spec and decodes it back.
+func TestSpecRoundTrip(t *testing.T) {
+	spec := RunSpec{
+		Seed: -42, Players: 123, Supernodes: 9, Datacenters: 2,
+		Shards: 3, SweepWorkers: 2,
+		Horizon: 17 * time.Second, Epoch: 5 * time.Second, NodeBudget: -1,
+		Detector: "timeout", Overload: true, Breaker: true,
+		BandwidthScale:   0.5,
+		Figures:          []string{"fig5a", "figchurn"},
+		FaultProfile:     []byte(`{"name":"x","seed":1,"duration":"30s","specs":[]}`),
+		DCCounts:         []int{1, 2},
+		SNCounts:         []int{0, 5},
+		PlayerCounts:     []int{10},
+		ContinuityCounts: []int{50, 100},
+		Loads:            []int{5},
+		ChurnRates:       []float64{0, 2.5},
+		Reqs:             []time.Duration{30 * time.Millisecond},
+		DetectIntervals:  []time.Duration{2 * time.Second, 5 * time.Second},
+	}
+	got, err := decodeSpec(appendSpec(nil, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("spec round trip:\n got %+v\nwant %+v", got, spec)
+	}
+}
+
+// TestOverride covers the what-if knob surface: a valid override, the
+// key=value form, unknown knobs, and invalid values.
+func TestOverride(t *testing.T) {
+	base, err := testSpec(1, 1).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := base.Override("detector", "phi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Detector != "phi" || base.Detector != "" {
+		t.Fatalf("override mutated base or missed: base %q over %q", base.Detector, over.Detector)
+	}
+	if over, err = base.Override("shards=4", ""); err != nil || over.Shards != 4 {
+		t.Fatalf("key=value form: %v, shards %d", err, over.Shards)
+	}
+	if _, err := base.Override("warp", "9"); err == nil {
+		t.Fatal("unknown knob accepted")
+	}
+	if _, err := base.Override("detector", "psychic"); err == nil {
+		t.Fatal("bad detector accepted")
+	}
+	if _, err := base.Override("bandwidth", "-2"); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+// TestWhatIfDetectorSwap is the counterfactual acceptance path: on a
+// recorded timeout-detector scaling incident, "what if the detector had
+// been phi-accrual" must produce a non-empty, ledger-reconciled diff, and
+// "what if the shard count had been 4" must leave every figure identical
+// (the invariance contract, proven on the incident itself).
+func TestWhatIfDetectorSwap(t *testing.T) {
+	spec := testSpec(9, 1)
+	spec.Detector = "timeout"
+	rec, err := Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rec.WhatIf("detector", "phi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() {
+		t.Fatal("detector swap produced an empty diff")
+	}
+	if err := d.BaseLedgers.Err(); err != nil {
+		t.Fatalf("base ledgers: %v", err)
+	}
+	if err := d.NewLedgers.Err(); err != nil {
+		t.Fatalf("what-if ledgers: %v", err)
+	}
+	found := false
+	for _, f := range d.Figures {
+		if f.Name == "figscale" && !f.Identical {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("figscale did not change under a detector swap")
+	}
+
+	d, err = rec.WhatIf("shards", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range d.Figures {
+		if !f.Identical {
+			t.Fatalf("figure %s changed under a shard-count override: %+v", f.Name, f.Series)
+		}
+	}
+
+	var text bytes.Buffer
+	d.WriteText(&text)
+	if !strings.Contains(text.String(), "what-if shards=4") {
+		t.Fatalf("diff text missing header: %s", text.String())
+	}
+}
+
+// TestSnapshotDelta checks the witness arithmetic directly.
+func TestSnapshotDelta(t *testing.T) {
+	rec, err := Record(testSpec(11, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := rec.Figures[0].ObsDelta
+	if len(delta.Counters) == 0 {
+		t.Fatal("figscale contributed no counters")
+	}
+	for name, v := range delta.Counters {
+		if v == 0 {
+			t.Fatalf("zero delta %s survived", name)
+		}
+		if rec.Final.Counters[name] != v {
+			t.Fatalf("%s: single-figure delta %d != final %d", name, v, rec.Final.Counters[name])
+		}
+	}
+}

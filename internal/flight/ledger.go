@@ -1,0 +1,119 @@
+package flight
+
+import (
+	"fmt"
+
+	"cloudfog/internal/obs"
+)
+
+// The ledgers are the run's conservation laws, derived from an
+// observability snapshot: every generated segment, every orphaned player,
+// and every observed kill must be accounted for. cmd/cloudfog-sim's
+// -report reconciles them on live runs; the what-if mode reconciles both
+// sides of a counterfactual before reporting any diff, so an unbalanced
+// alternative world is an error, not a data point.
+
+// SegmentLedger reconciles the QoE segment lifecycle: generated ==
+// delivered + dropped + in flight at the horizon.
+type SegmentLedger struct {
+	Generated   int64 `json:"segments_generated"`
+	Delivered   int64 `json:"segments_delivered"`
+	Dropped     int64 `json:"segments_dropped"`
+	InFlightEnd int64 `json:"segments_inflight_end"`
+	Balanced    bool  `json:"balanced"`
+}
+
+// FaultLedger reconciles fault injection: every orphaned player is absorbed
+// by a backup, reassigned through the full protocol, lapsed to unserved, or
+// still pending at the horizon.
+type FaultLedger struct {
+	Kills      int64 `json:"kills"`
+	Recoveries int64 `json:"recoveries"`
+	Orphaned   int64 `json:"orphaned"`
+	BackupHits int64 `json:"failover_backup_hits"`
+	Reassigns  int64 `json:"failover_reassigns"`
+	Lapsed     int64 `json:"lapsed"`
+	PendingEnd int64 `json:"pending_end"`
+	// OrphansBalanced is orphaned == backup hits + reassigns + lapsed +
+	// pending.
+	OrphansBalanced bool `json:"orphans_balanced"`
+}
+
+// HealthLedger reconciles heartbeat detection: every observed kill is
+// detected or still pending at the horizon.
+type HealthLedger struct {
+	HeartbeatsSent int64 `json:"heartbeats_sent"`
+	HeartbeatsLost int64 `json:"heartbeats_lost"`
+	KillsObserved  int64 `json:"kills_observed"`
+	Detected       int64 `json:"detected"`
+	DetectPending  int64 `json:"detect_pending"`
+	FalsePositives int64 `json:"false_positives"`
+	// KillsBalanced is detected + detect_pending == kills_observed.
+	KillsBalanced bool `json:"kills_balanced"`
+}
+
+// Ledgers bundles the reconciliations of one snapshot. Faults and Health
+// are nil when the run injected no faults / ran no heartbeat detector.
+type Ledgers struct {
+	Segments SegmentLedger `json:"segments"`
+	Faults   *FaultLedger  `json:"faults,omitempty"`
+	Health   *HealthLedger `json:"health,omitempty"`
+}
+
+// Reconcile derives the ledgers from a snapshot's counters.
+func Reconcile(snap obs.Snapshot) Ledgers {
+	c := snap.Counters
+	l := Ledgers{Segments: SegmentLedger{
+		Generated:   c["cloudfog_qoe_segments_generated_total"],
+		Delivered:   c["cloudfog_qoe_segments_delivered_total"],
+		Dropped:     c["cloudfog_qoe_segments_dropped_total"],
+		InFlightEnd: c["cloudfog_qoe_segments_inflight_end_total"],
+	}}
+	l.Segments.Balanced = l.Segments.Generated ==
+		l.Segments.Delivered+l.Segments.Dropped+l.Segments.InFlightEnd
+	if c["cloudfog_fault_kills_total"] > 0 || c["cloudfog_fault_orphaned_total"] > 0 {
+		f := &FaultLedger{
+			Kills:      c["cloudfog_fault_kills_total"],
+			Recoveries: c["cloudfog_fault_recoveries_total"],
+			Orphaned:   c["cloudfog_fault_orphaned_total"],
+			BackupHits: c["cloudfog_assign_failover_backup_total"],
+			Reassigns:  c["cloudfog_assign_failover_rerun_total"],
+			Lapsed:     c["cloudfog_fault_lapsed_total"],
+			PendingEnd: c["cloudfog_fault_pending_end_total"],
+		}
+		f.OrphansBalanced = f.Orphaned == f.BackupHits+f.Reassigns+f.Lapsed+f.PendingEnd
+		l.Faults = f
+	}
+	if c["cloudfog_health_heartbeats_sent_total"] > 0 || c["cloudfog_health_kills_observed_total"] > 0 {
+		h := &HealthLedger{
+			HeartbeatsSent: c["cloudfog_health_heartbeats_sent_total"],
+			HeartbeatsLost: c["cloudfog_health_heartbeats_lost_total"],
+			KillsObserved:  c["cloudfog_health_kills_observed_total"],
+			Detected:       c["cloudfog_health_detected_total"],
+			DetectPending:  c["cloudfog_health_detect_pending_total"],
+			FalsePositives: c["cloudfog_health_false_positives_total"],
+		}
+		h.KillsBalanced = h.KillsObserved == h.Detected+h.DetectPending
+		l.Health = h
+	}
+	return l
+}
+
+// Err returns the first failed conservation law, or nil when every present
+// ledger balances.
+func (l Ledgers) Err() error {
+	if !l.Segments.Balanced {
+		s := l.Segments
+		return fmt.Errorf("segment ledger does not balance: %d generated vs %d delivered + %d dropped + %d in flight",
+			s.Generated, s.Delivered, s.Dropped, s.InFlightEnd)
+	}
+	if f := l.Faults; f != nil && !f.OrphansBalanced {
+		return fmt.Errorf("fault orphan ledger does not balance: %d orphaned vs %d backup + %d reassigned + %d lapsed + %d pending",
+			f.Orphaned, f.BackupHits, f.Reassigns, f.Lapsed, f.PendingEnd)
+	}
+	if h := l.Health; h != nil && !h.KillsBalanced {
+		return fmt.Errorf("health detection ledger does not balance: %d kills observed vs %d detected + %d pending",
+			h.KillsObserved, h.Detected, h.DetectPending)
+	}
+	return nil
+}

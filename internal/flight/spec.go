@@ -1,0 +1,334 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudfog/internal/experiment"
+	"cloudfog/internal/fault"
+	"cloudfog/internal/health"
+	"cloudfog/internal/recfmt"
+)
+
+// RunSpec is the launch half of a recording: every input the simulator
+// needs to reproduce a run. Zero/nil fields mean "paper default" and are
+// filled by the experiment package exactly as the CLI's defaults are, so a
+// spec encodes only what the original invocation actually pinned.
+type RunSpec struct {
+	Seed        int64
+	Players     int
+	Supernodes  int
+	Datacenters int
+	// Shards partitions the sharded figures' world; SweepWorkers bounds the
+	// sweep pool. Both are recorded because they are part of the invocation,
+	// even though figure bytes are invariant to them — a replay reproduces
+	// the run as launched, and the what-if mode overrides them to prove the
+	// invariance on a recorded incident.
+	Shards       int
+	SweepWorkers int
+
+	Horizon    time.Duration
+	Epoch      time.Duration // sharded-run barrier interval (0 = default)
+	NodeBudget int           // figscale QoE node sample cap (0 = default, <0 = all)
+
+	Detector string // "", "oracle", "timeout", "phi"
+	Overload bool
+	Breaker  bool
+
+	// BandwidthScale multiplies every provisioned egress/uplink capacity
+	// (datacenter egress, edge-server egress, per-slot supernode uplink).
+	// 0 or 1 means unscaled.
+	BandwidthScale float64
+
+	// Figures is the selection, in canonical registry names and order.
+	// Empty means every figure.
+	Figures []string
+
+	// FaultProfile is the resilience figures' fault profile JSON (the
+	// -faults file, verbatim); nil uses the built-in chaos profile.
+	FaultProfile []byte
+
+	// Sweep overrides; nil slices use the paper defaults.
+	DCCounts         []int
+	SNCounts         []int
+	PlayerCounts     []int
+	ContinuityCounts []int
+	Loads            []int
+	ChurnRates       []float64
+	Reqs             []time.Duration
+	DetectIntervals  []time.Duration
+}
+
+// Normalize validates the spec and rewrites the figure selection into
+// canonical registry names and order.
+func (s RunSpec) Normalize() (RunSpec, error) {
+	figs, err := experiment.SelectFigures(strings.Join(s.Figures, ","))
+	if err != nil {
+		return s, err
+	}
+	names := make([]string, len(figs))
+	for i, f := range figs {
+		names[i] = f.Name
+	}
+	s.Figures = names
+	if _, err := health.ParseMode(s.Detector); err != nil {
+		return s, err
+	}
+	if s.BandwidthScale < 0 {
+		return s, fmt.Errorf("flight: negative bandwidth scale %g", s.BandwidthScale)
+	}
+	if s.FaultProfile != nil {
+		if _, err := fault.Parse(s.FaultProfile); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+// Summary is the one-line human description of the spec.
+func (s RunSpec) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d players=%d supernodes=%d datacenters=%d shards=%d figures=%s",
+		s.Seed, s.Players, s.Supernodes, s.Datacenters, s.Shards, strings.Join(s.Figures, ","))
+	if s.Detector != "" && s.Detector != "oracle" {
+		fmt.Fprintf(&b, " detector=%s", s.Detector)
+	}
+	if s.Overload {
+		b.WriteString(" overload")
+	}
+	if s.Breaker {
+		b.WriteString(" breaker")
+	}
+	if s.BandwidthScale != 0 && s.BandwidthScale != 1 {
+		fmt.Fprintf(&b, " bandwidth=%g", s.BandwidthScale)
+	}
+	if len(s.FaultProfile) > 0 {
+		b.WriteString(" faults=custom")
+	}
+	return b.String()
+}
+
+// appendSpec encodes the spec. The layout is positional — the spec chunk is
+// versioned by the recording header, so fields are only ever appended in
+// new format versions, never reordered.
+func appendSpec(dst []byte, s RunSpec) []byte {
+	dst = recfmt.AppendVarint(dst, s.Seed)
+	dst = recfmt.AppendVarint(dst, int64(s.Players))
+	dst = recfmt.AppendVarint(dst, int64(s.Supernodes))
+	dst = recfmt.AppendVarint(dst, int64(s.Datacenters))
+	dst = recfmt.AppendVarint(dst, int64(s.Shards))
+	dst = recfmt.AppendVarint(dst, int64(s.SweepWorkers))
+	dst = recfmt.AppendVarint(dst, int64(s.Horizon))
+	dst = recfmt.AppendVarint(dst, int64(s.Epoch))
+	dst = recfmt.AppendVarint(dst, int64(s.NodeBudget))
+	dst = recfmt.AppendString(dst, s.Detector)
+	dst = appendBool(dst, s.Overload)
+	dst = appendBool(dst, s.Breaker)
+	dst = recfmt.AppendFloat64(dst, s.BandwidthScale)
+	dst = recfmt.AppendUvarint(dst, uint64(len(s.Figures)))
+	for _, f := range s.Figures {
+		dst = recfmt.AppendString(dst, f)
+	}
+	dst = recfmt.AppendBytes(dst, s.FaultProfile)
+	dst = appendInts(dst, s.DCCounts)
+	dst = appendInts(dst, s.SNCounts)
+	dst = appendInts(dst, s.PlayerCounts)
+	dst = appendInts(dst, s.ContinuityCounts)
+	dst = appendInts(dst, s.Loads)
+	dst = recfmt.AppendUvarint(dst, uint64(len(s.ChurnRates)))
+	for _, r := range s.ChurnRates {
+		dst = recfmt.AppendFloat64(dst, r)
+	}
+	dst = appendDurs(dst, s.Reqs)
+	dst = appendDurs(dst, s.DetectIntervals)
+	return dst
+}
+
+func decodeSpec(payload []byte) (RunSpec, error) {
+	r := recfmt.NewReader(payload)
+	var s RunSpec
+	s.Seed = r.Varint()
+	s.Players = int(r.Varint())
+	s.Supernodes = int(r.Varint())
+	s.Datacenters = int(r.Varint())
+	s.Shards = int(r.Varint())
+	s.SweepWorkers = int(r.Varint())
+	s.Horizon = time.Duration(r.Varint())
+	s.Epoch = time.Duration(r.Varint())
+	s.NodeBudget = int(r.Varint())
+	s.Detector = r.String()
+	s.Overload = r.Uvarint() != 0
+	s.Breaker = r.Uvarint() != 0
+	s.BandwidthScale = r.Float64()
+	if n := r.Uvarint(); n > 0 {
+		s.Figures = make([]string, n)
+		for i := range s.Figures {
+			s.Figures[i] = r.String()
+		}
+	}
+	if b := r.Bytes(); len(b) > 0 {
+		s.FaultProfile = append([]byte(nil), b...)
+	}
+	s.DCCounts = readInts(r)
+	s.SNCounts = readInts(r)
+	s.PlayerCounts = readInts(r)
+	s.ContinuityCounts = readInts(r)
+	s.Loads = readInts(r)
+	if n := r.Uvarint(); n > 0 {
+		s.ChurnRates = make([]float64, n)
+		for i := range s.ChurnRates {
+			s.ChurnRates[i] = r.Float64()
+		}
+	}
+	s.Reqs = readDurs(r)
+	s.DetectIntervals = readDurs(r)
+	return s, r.Expect()
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return recfmt.AppendUvarint(dst, 1)
+	}
+	return recfmt.AppendUvarint(dst, 0)
+}
+
+func appendInts(dst []byte, vs []int) []byte {
+	dst = recfmt.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = recfmt.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+func readInts(r *recfmt.Reader) []int {
+	n := r.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.Varint())
+	}
+	return out
+}
+
+func appendDurs(dst []byte, vs []time.Duration) []byte {
+	dst = recfmt.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = recfmt.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+func readDurs(r *recfmt.Reader) []time.Duration {
+	n := r.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(r.Varint())
+	}
+	return out
+}
+
+// Knobs lists the what-if override keys, sorted.
+func Knobs() []string {
+	out := make([]string, 0, len(knobs))
+	for k := range knobs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// knobs maps a what-if key to the function applying it to a spec.
+var knobs = map[string]func(s *RunSpec, value string) error{
+	"seed":        func(s *RunSpec, v string) error { return setInt64(&s.Seed, v) },
+	"players":     func(s *RunSpec, v string) error { return setInt(&s.Players, v) },
+	"supernodes":  func(s *RunSpec, v string) error { return setInt(&s.Supernodes, v) },
+	"datacenters": func(s *RunSpec, v string) error { return setInt(&s.Datacenters, v) },
+	"shards":      func(s *RunSpec, v string) error { return setInt(&s.Shards, v) },
+	"workers":     func(s *RunSpec, v string) error { return setInt(&s.SweepWorkers, v) },
+	"nodebudget":  func(s *RunSpec, v string) error { return setInt(&s.NodeBudget, v) },
+	"horizon":     func(s *RunSpec, v string) error { return setDur(&s.Horizon, v) },
+	"epoch":       func(s *RunSpec, v string) error { return setDur(&s.Epoch, v) },
+	"detector": func(s *RunSpec, v string) error {
+		if _, err := health.ParseMode(v); err != nil {
+			return err
+		}
+		s.Detector = v
+		return nil
+	},
+	"overload": func(s *RunSpec, v string) error { return setBool(&s.Overload, v) },
+	"breaker":  func(s *RunSpec, v string) error { return setBool(&s.Breaker, v) },
+	"bandwidth": func(s *RunSpec, v string) error {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("flight: bandwidth scale %q is not a positive number", v)
+		}
+		s.BandwidthScale = f
+		return nil
+	},
+}
+
+// Override returns a copy of the spec with exactly one knob changed. The
+// key accepts "key=value" in one argument or separate key and value.
+func (s RunSpec) Override(key, value string) (RunSpec, error) {
+	if value == "" {
+		if k, v, ok := strings.Cut(key, "="); ok {
+			key, value = k, v
+		}
+	}
+	key = strings.ToLower(strings.TrimSpace(key))
+	apply, ok := knobs[key]
+	if !ok {
+		return s, fmt.Errorf("flight: unknown what-if knob %q (have %s)",
+			key, strings.Join(Knobs(), ", "))
+	}
+	out := s
+	// Slices are shared with the base spec but never mutated by knobs.
+	if err := apply(&out, strings.TrimSpace(value)); err != nil {
+		return s, err
+	}
+	return out.Normalize()
+}
+
+func setInt(dst *int, v string) error {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("flight: bad integer %q", v)
+	}
+	*dst = n
+	return nil
+}
+
+func setInt64(dst *int64, v string) error {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return fmt.Errorf("flight: bad integer %q", v)
+	}
+	*dst = n
+	return nil
+}
+
+func setDur(dst *time.Duration, v string) error {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return fmt.Errorf("flight: bad duration %q", v)
+	}
+	*dst = d
+	return nil
+}
+
+func setBool(dst *bool, v string) error {
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return fmt.Errorf("flight: bad boolean %q", v)
+	}
+	*dst = b
+	return nil
+}

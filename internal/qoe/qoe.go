@@ -713,7 +713,12 @@ type Pool struct {
 	segsAll  []*stream.Segment
 	segsFree []*stream.Segment
 	results  []PlayerResult
+	draws    uint64
 }
+
+// Draws returns the cumulative RNG draws every run on this pool consumed —
+// the flight recorder's per-shard data-plane witness.
+func (p *Pool) Draws() uint64 { return p.draws }
 
 // NewPool returns an empty pool with its own engine.
 func NewPool() *Pool {
@@ -747,6 +752,7 @@ func (p *Pool) RunNode(opts Options, uplink int64, players []PlayerSpec, duratio
 	srv.Start()
 	p.engine.RunUntil(duration)
 	p.results = srv.AppendResults(p.results[:0])
+	p.draws += srv.rng.Draws()
 	p.arena = srv.sessArena
 	p.ptrs = srv.sessions
 	p.segsAll = srv.segAll

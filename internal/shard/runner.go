@@ -81,6 +81,16 @@ type Result struct {
 	// migrations crossing a boundary. Both depend on the plan.
 	CrossShardRepairs    int64
 	CrossShardMigrations int64
+	// ShardSeeds and ShardDraws are the flight recorder's RNG witness: the
+	// split seed each shard's data plane derives its streams from and the
+	// draws it consumed (QoE pool runs plus the shard stream). Like the
+	// CrossShard counts they describe the partition, not the figures.
+	ShardSeeds []int64
+	ShardDraws []uint64
+	// FogDraws is the control-plane geolocation stream's draw count at the
+	// end of the run — partition-invariant, because the fog evolves only at
+	// barriers in canonical message order.
+	FogDraws uint64
 }
 
 // MeanDetectionLatency returns the mean kill-to-detection latency.
@@ -264,6 +274,13 @@ func (r *Runner) Run() (Result, error) {
 		r.res.PendingEnd += int64(len(pend))
 	}
 	r.summarizeContinuity()
+	r.res.ShardSeeds = make([]int64, len(r.shards))
+	r.res.ShardDraws = make([]uint64, len(r.shards))
+	for i, s := range r.shards {
+		r.res.ShardSeeds[i] = sim.SplitSeed(r.cfg.Seed, int64(i))
+		r.res.ShardDraws[i] = s.pool.Draws() + s.rng.Draws()
+	}
+	r.res.FogDraws = r.fog.RandDraws()
 	return r.res, nil
 }
 

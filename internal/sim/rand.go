@@ -13,12 +13,42 @@ import (
 // changing one workload dimension does not perturb the others.
 type Rand struct {
 	*rand.Rand
+	draws uint64
 }
 
 // NewRand returns a deterministic random stream for the given seed.
 func NewRand(seed int64) *Rand {
 	return &Rand{Rand: rand.New(rand.NewSource(seed))}
 }
+
+// Draws returns how many primitive draws this stream has made — each call
+// through one of the counted wrappers below is one draw. The count is the
+// flight recorder's cheapest divergence witness: two runs that consumed a
+// stream differently cannot have made the same number of draws, so replay
+// compares counts per stream before comparing any output bytes. Values
+// produced are untouched; the counter is one register increment per draw.
+func (r *Rand) Draws() uint64 { return r.draws }
+
+// Float64 counts and forwards to math/rand.
+func (r *Rand) Float64() float64 { r.draws++; return r.Rand.Float64() }
+
+// Intn counts and forwards to math/rand.
+func (r *Rand) Intn(n int) int { r.draws++; return r.Rand.Intn(n) }
+
+// Int63 counts and forwards to math/rand.
+func (r *Rand) Int63() int64 { r.draws++; return r.Rand.Int63() }
+
+// Int63n counts and forwards to math/rand.
+func (r *Rand) Int63n(n int64) int64 { r.draws++; return r.Rand.Int63n(n) }
+
+// ExpFloat64 counts and forwards to math/rand.
+func (r *Rand) ExpFloat64() float64 { r.draws++; return r.Rand.ExpFloat64() }
+
+// NormFloat64 counts and forwards to math/rand.
+func (r *Rand) NormFloat64() float64 { r.draws++; return r.Rand.NormFloat64() }
+
+// Perm counts (as one draw) and forwards to math/rand.
+func (r *Rand) Perm(n int) []int { r.draws++; return r.Rand.Perm(n) }
 
 // Fork derives an independent stream from this one. The derived stream is a
 // pure function of the parent's state, preserving determinism.
