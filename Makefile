@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json bench-all chaos wire coord replay record-corpus verify
+.PHONY: build test vet race bench bench-json bench-all chaos wire coord coord-drain replay record-corpus verify
 
 build:
 	$(GO) build ./...
@@ -100,7 +100,18 @@ coord:
 	$(GO) run ./cmd/cloudfog-coordinator -demo -workers 3 -players 6 \
 		-duration 4s -report coord_report.json
 
+# coord-drain is the graceful-distress smoke: the same deployment with
+# ticket leases on, but the victim worker is SIGTERM-drained instead of
+# killed. The run fails unless the drain completes within the detector
+# Bound(), every drained session hands off make-before-break (zero
+# visible stream interruptions), and the extended session ledger —
+# placements = active + departed + expired, tickets = placements +
+# replacements + renewals — reconciles.
+coord-drain:
+	$(GO) run ./cmd/cloudfog-coordinator -demo -drain -lease 1s \
+		-workers 3 -players 6 -duration 4s -report coord_drain_report.json
+
 # verify is the CI gate: static checks, the race-enabled suite, the chaos
-# smoke, the wire smoke, the coordinator smoke, and the flight-recorder
-# replay gate.
-verify: vet race chaos wire coord replay
+# smoke, the wire smoke, the coordinator smokes (kill and drain), and the
+# flight-recorder replay gate.
+verify: vet race chaos wire coord coord-drain replay

@@ -45,6 +45,9 @@ var (
 	playersFlag  = flag.Int("players", 6, "demo: player count")
 	durationFlag = flag.Duration("duration", 4*time.Second, "demo: player session length")
 	intervalFlag = flag.Duration("interval", 100*time.Millisecond, "failure-detector heartbeat interval")
+	leaseFlag    = flag.Duration("lease", 0, "ticket lease TTL (0 disables leases)")
+	drainFlag    = flag.Bool("drain", false, "demo: SIGTERM-drain a worker instead of killing it — fails on any stream interruption")
+	drainTOFlag  = flag.Duration("drain-timeout", 0, "demo: worker drain deadline (0 = default)")
 )
 
 func main() {
@@ -76,6 +79,7 @@ func coordinatorConfig() (live.Config, error) {
 		CloudAddr: *cloudFlag,
 		TicketKey: *keyFlag,
 		Detector:  health.DetectorConfig{Mode: health.ModePhi, Interval: *intervalFlag},
+		LeaseTTL:  *leaseFlag,
 	}
 	return cfg, cfg.Validate()
 }
@@ -116,8 +120,12 @@ func run() error {
 }
 
 // demo is the `make coord` smoke: a full local deployment with one worker
-// killed mid-stream. It fails unless every stranded session re-places and
-// the ledger reconciles.
+// taken out mid-stream. The default mode kills the worker abruptly and
+// fails unless every stranded session re-places and the ledger reconciles.
+// With -drain the worker is SIGTERM-drained instead (`make coord-drain`):
+// every session on it must hand off make-before-break — the demo fails on
+// any visible stream interruption — and the drain must complete within the
+// detector Bound().
 func demo() error {
 	cloud, err := live.NewCloud(live.Config{
 		Role: live.RoleCloud, Addr: "127.0.0.1:0",
@@ -132,6 +140,7 @@ func demo() error {
 		Role: live.RoleCoordinator, Addr: *addrFlag,
 		CloudAddr: cloud.Addr(), TicketKey: *keyFlag,
 		Detector: health.DetectorConfig{Mode: health.ModePhi, Interval: *intervalFlag},
+		LeaseTTL: *leaseFlag,
 	}
 	if cfg.TicketKey == "" {
 		cfg.TicketKey = "demo-key"
@@ -141,7 +150,7 @@ func demo() error {
 		return err
 	}
 	defer c.Close()
-	fmt.Printf("coordinator on %s (detector bound %v)\n", c.Addr(), c.Bound())
+	fmt.Printf("coordinator on %s (detector bound %v, lease %v)\n", c.Addr(), c.Bound(), *leaseFlag)
 
 	workers := make([]*coord.Worker, *workersFlag)
 	for i := range workers {
@@ -149,10 +158,12 @@ func demo() error {
 		w, err := coord.StartWorker(live.Config{
 			Role: live.RoleSupernode, ID: id, Addr: "127.0.0.1:0",
 			CloudAddr: cloud.Addr(), CoordAddr: c.Addr(),
-			FPS:      30,
-			X:        float64(1500 + (i%3)*3500),
-			Y:        float64(2500 + (i/3)*5000),
-			Capacity: 16, ReportEvery: 50 * time.Millisecond,
+			TicketKey: cfg.TicketKey,
+			FPS:       30,
+			X:         float64(1500 + (i%3)*3500),
+			Y:         float64(2500 + (i/3)*5000),
+			Capacity:  16, ReportEvery: 50 * time.Millisecond,
+			DrainTimeout: *drainTOFlag,
 		})
 		if err != nil {
 			return fmt.Errorf("worker %d: %w", id, err)
@@ -169,39 +180,77 @@ func demo() error {
 		time.Sleep(20 * time.Millisecond)
 	}
 
+	// Open every session first so the drain mode can see who is placed on
+	// the victim before the run starts.
+	type run struct {
+		id   int64
+		sess *coord.Session
+		rep  live.PlayerReport
+		err  error
+	}
+	runs := make([]*run, *playersFlag)
+	for i := range runs {
+		r := &run{id: int64(600 + i)}
+		r.sess, r.err = coord.OpenSession(context.Background(), live.Config{
+			Role: live.RolePlayer, ID: r.id, GameID: 1,
+			CloudAddr: cloud.Addr(), CoordAddr: c.Addr(),
+			TicketKey: cfg.TicketKey,
+			X:         float64(1000 + i*1500), Y: 3000,
+		})
+		if r.err != nil {
+			return fmt.Errorf("player %d session: %w", r.id, r.err)
+		}
+		defer r.sess.Close()
+		runs[i] = r
+	}
 	var wg sync.WaitGroup
-	errs := make([]error, *playersFlag)
-	for i := 0; i < *playersFlag; i++ {
+	for _, r := range runs {
 		wg.Add(1)
-		go func(i int) {
+		go func(r *run) {
 			defer wg.Done()
-			rep, tk, err := coord.RunSession(context.Background(), live.Config{
-				Role: live.RolePlayer, ID: int64(600 + i), GameID: 1,
-				CloudAddr: cloud.Addr(), CoordAddr: c.Addr(),
-				TicketKey: cfg.TicketKey,
-				X:         float64(1000 + i*1500), Y: 3000,
-			}, *durationFlag)
-			errs[i] = err
-			if err == nil {
-				fmt.Printf("player %d: worker %d, %d segments, %d failovers\n",
-					600+i, tk.Worker, rep.Segments, rep.Failovers)
-			}
-		}(i)
+			r.rep, r.err = r.sess.Run(*durationFlag)
+		}(r)
 	}
 
-	// Kill one worker a quarter into the run: its report loop and supernode
-	// stop, the detector declares it dead, and its sessions re-place.
+	// Take one worker out a quarter into the run.
 	time.Sleep(*durationFlag / 4)
 	victim := workers[0]
-	fmt.Printf("killing worker %d mid-stream\n", victim.ID())
-	victim.Close()
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("player %d: %w", 600+i, err)
+	affected := 0
+	for _, r := range runs {
+		if r.sess.Ticket().Worker == victim.ID() {
+			affected++
 		}
 	}
+	if *drainFlag {
+		fmt.Printf("draining worker %d mid-stream (%d sessions)\n", victim.ID(), affected)
+		began := time.Now()
+		drained := victim.Drain()
+		took := time.Since(began)
+		if !drained {
+			return fmt.Errorf("worker %d did not empty before its drain deadline", victim.ID())
+		}
+		if took > c.Bound() {
+			return fmt.Errorf("drain took %v, beyond detector bound %v", took, c.Bound())
+		}
+		fmt.Printf("worker %d drained in %v (bound %v)\n", victim.ID(), took, c.Bound())
+	} else {
+		fmt.Printf("killing worker %d mid-stream\n", victim.ID())
+		victim.Close()
+	}
+	wg.Wait()
+
+	var handoffs, failovers int64
+	for _, r := range runs {
+		if r.err != nil {
+			return fmt.Errorf("player %d: %w", r.id, r.err)
+		}
+		fmt.Printf("player %d: worker %d, %d segments, %d failovers, %d handoffs\n",
+			r.id, r.sess.Ticket().Worker, r.rep.Segments, r.rep.Failovers, r.rep.Handoffs)
+		handoffs += r.rep.Handoffs
+		failovers += r.rep.Failovers
+		r.sess.Close()
+	}
+
 	// Sessions have departed; reconcile.
 	deadline = time.Now().Add(5 * time.Second)
 	for {
@@ -218,12 +267,22 @@ func demo() error {
 		return err
 	}
 	l := c.Ledger()
-	fmt.Printf("ledger: %d placed, %d re-placed, %d departed, %d rejected, workers lost %d\n",
-		l.Placements, l.Replacements, l.Departed, l.Rejected, l.WorkersLost)
+	fmt.Printf("ledger: %d placed, %d re-placed, %d renewed, %d departed, %d expired, %d rejected, workers lost %d, drains %d/%d sessions\n",
+		l.Placements, l.Replacements, l.Renewals, l.Departed, l.Expired, l.Rejected, l.WorkersLost, l.DrainWorkers, l.DrainSessions)
 	if !l.Balanced() {
 		return fmt.Errorf("ledger does not reconcile: %+v", l)
 	}
-	if l.Replacements == 0 {
+	if *drainFlag {
+		if failovers != 0 {
+			return fmt.Errorf("%d visible stream interruptions during a drain — handoffs must be make-before-break", failovers)
+		}
+		if affected > 0 && int(handoffs) < affected {
+			return fmt.Errorf("only %d handoffs for %d drained sessions", handoffs, affected)
+		}
+		if l.DrainSessions == 0 {
+			return fmt.Errorf("ledger recorded no drained sessions")
+		}
+	} else if l.Replacements == 0 {
 		return fmt.Errorf("no sessions were re-placed after the worker kill")
 	}
 	return nil

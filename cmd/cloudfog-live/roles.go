@@ -31,7 +31,9 @@ rendered segments to players on addr over tcp or udp. With coord_addr set
 it runs as a coordinator-registered worker instead: it announces itself
 (position x/y, capacity) and streams occupancy reports every report_every.
 Config fields: id, addr, cloud_addr, fps, transport, heartbeat_every
-[, coord_addr, x, y, capacity, report_every]. Runs until SIGINT/SIGTERM.`,
+[, coord_addr, x, y, capacity, report_every, drain_timeout,
+skew_tolerance]. Runs until SIGINT (abrupt) or SIGTERM (worker mode drains
+every session onto other workers before exiting).`,
 	live.RolePlayer: `cloudfog-live player -config <json> [-duration 4s]
 
 Runs one player session: actions to the cloud, a rendered stream from a
@@ -95,7 +97,20 @@ func runRole(role live.RoleKind, args []string) error {
 			}
 			defer w.Close()
 			fmt.Printf("worker %d on %s (coordinator %s)\n", w.ID(), w.Addr(), cfg.CoordAddr)
-			waitSignal()
+			// SIGTERM is the graceful path: announce a drain so the
+			// coordinator hands every session off make-before-break, and
+			// only exit once the supernode is empty (or drain_timeout
+			// lapses). SIGINT remains the abrupt kill.
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			if sig := <-ch; sig == syscall.SIGTERM {
+				fmt.Printf("worker %d: SIGTERM, draining sessions\n", w.ID())
+				if w.Drain() {
+					fmt.Printf("worker %d: drained, every session handed off\n", w.ID())
+				} else {
+					fmt.Printf("worker %d: drain timeout, exiting with sessions attached\n", w.ID())
+				}
+			}
 			return nil
 		}
 		sn, err := live.NewSupernode(cfg, opts...)

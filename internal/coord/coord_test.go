@@ -227,7 +227,7 @@ func TestPlacerDetectorChurn(t *testing.T) {
 	}
 
 	// The dead worker comes back: counted as returned, eligible again.
-	if returned := p.Register(now, reg(1, 1000, 1000, 8)); !returned {
+	if returned, _ := p.Register(now, reg(1, 1000, 1000, 8)); !returned {
 		t.Fatal("re-registration of a dead worker not flagged as returned")
 	}
 	if !p.WorkerAlive(1) {

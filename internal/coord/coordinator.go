@@ -63,6 +63,7 @@ func StartCoordinator(cfg live.Config, opts ...live.Option) (*Coordinator, error
 		Overload:   cfg.Overload,
 		TicketKey:  []byte(cfg.TicketKey),
 		CloudAddr:  cfg.CloudAddr,
+		LeaseTTL:   cfg.LeaseTTL,
 		Stats:      stats,
 	})
 	if err != nil {
@@ -150,9 +151,13 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 				continue
 			}
 			c.mu.Lock()
-			c.placer.Register(c.now(), r)
+			_, reps := c.placer.Register(c.now(), r)
 			c.mu.Unlock()
 			link.Send(proto.TAck, nil)
+			c.pushSync(link)
+			// Reconnect reconciliation: realigned sessions get their fresh
+			// tickets pushed down still-open player control links.
+			c.deliver(time.Now(), reps)
 		case proto.TReport:
 			r, err := proto.UnmarshalReport(payload)
 			if err != nil {
@@ -161,6 +166,23 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 			c.mu.Lock()
 			c.placer.Report(c.now(), r)
 			c.mu.Unlock()
+			c.pushSync(link)
+		case proto.TTicket:
+			// A TTicket frame arriving player→coordinator is a lease
+			// renewal: answer with a fresh ticket on the same link.
+			rn, err := proto.UnmarshalRenew(payload)
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			t, ok := c.placer.Renew(c.now(), rn.Player)
+			c.mu.Unlock()
+			if !ok {
+				// Unknown session: an empty-Addr ticket tells the player its
+				// lease is gone and it must re-place.
+				t = proto.Ticket{Player: rn.Player}
+			}
+			c.pushTicket(link, t)
 		case proto.TPlace:
 			pl, err := proto.UnmarshalPlace(payload)
 			if err != nil {
@@ -199,13 +221,55 @@ func (c *Coordinator) pushTicket(link live.Transport, t proto.Ticket) bool {
 	return link.SendFrame(frame)
 }
 
+// pushSync answers a worker beacon with the coordinator's clock and lease
+// TTL: the worker's partition detector feeds on these, and the clock lets it
+// judge ticket expiries despite skew.
+func (c *Coordinator) pushSync(link live.Transport) bool {
+	frame := link.AcquireFrame(proto.TSync)
+	frame = proto.AppendSync(frame, proto.Sync{Now: int64(c.now()), LeaseTTL: int64(c.cfg.LeaseTTL)})
+	return link.SendFrame(frame)
+}
+
+// deliver pushes churn outcomes to the affected players: replacement tickets
+// down open control links, and for expired leases the zombie control link is
+// closed so the departed player's link state is reclaimed.
+func (c *Coordinator) deliver(began time.Time, reps []Replacement) {
+	if len(reps) == 0 {
+		return
+	}
+	links := make([]live.Transport, len(reps))
+	c.mu.Lock()
+	for i, r := range reps {
+		links[i] = c.players[r.Player]
+		if r.Expired && links[i] != nil {
+			delete(c.players, r.Player)
+		}
+	}
+	c.mu.Unlock()
+	for i, r := range reps {
+		if links[i] == nil {
+			continue
+		}
+		if r.Expired {
+			links[i].Close()
+			continue
+		}
+		if r.Dropped {
+			continue
+		}
+		c.pushTicket(links[i], r.Ticket)
+		c.stats.ReplaceNs.Observe(int64(time.Since(began)))
+	}
+}
+
 // udpLoop demultiplexes worker control datagrams (register/report) off the
 // shared UDP socket.
 func (c *Coordinator) udpLoop() {
 	defer c.wg.Done()
 	buf := make([]byte, proto.MaxDatagram)
+	var sync []byte
 	for {
-		n, _, err := c.udp.ReadFromUDP(buf)
+		n, raddr, err := c.udp.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
@@ -213,30 +277,58 @@ func (c *Coordinator) udpLoop() {
 		if err != nil {
 			continue
 		}
+		handled := false
 		switch typ {
 		case proto.TRegister:
 			if r, err := proto.UnmarshalRegister(payload); err == nil {
 				c.mu.Lock()
-				c.placer.Register(c.now(), r)
+				_, reps := c.placer.Register(c.now(), r)
 				c.mu.Unlock()
+				c.deliver(time.Now(), reps)
+				handled = true
 			}
 		case proto.TReport:
 			if r, err := proto.UnmarshalReport(payload); err == nil {
 				c.mu.Lock()
 				c.placer.Report(c.now(), r)
 				c.mu.Unlock()
+				handled = true
 			}
+		}
+		if handled {
+			// Beacon the clock back to the datagram's source so UDP workers
+			// feed their partition detectors too.
+			sync = proto.AppendFrame(sync[:0], proto.TSync,
+				proto.MarshalSync(proto.Sync{Now: int64(c.now()), LeaseTTL: int64(c.cfg.LeaseTTL)}))
+			c.udp.WriteToUDP(sync, raddr)
 		}
 	}
 }
 
 // sweepLoop evaluates the failure detectors every CheckEvery and pushes
-// replacement tickets to the players a dead worker stranded.
+// replacement tickets to the players a dead worker stranded. It also watches
+// its own cadence: a tick arriving far later than scheduled means the
+// coordinator process itself was paused (SIGSTOP, VM freeze) — the workers
+// were fine, their silence is our fault — so the sweep rebases every detector
+// and extends every lease instead of mass-burying the fleet.
 func (c *Coordinator) sweepLoop() {
 	defer c.wg.Done()
-	every := c.cfg.Detector.Defaulted().CheckEvery
+	det := c.cfg.Detector.Defaulted()
+	every := det.CheckEvery
+	// The pause threshold keys on sweep cadence, not MaxSilence: phi
+	// detectors adapt to the actual report cadence and can fire on far less
+	// silence than the configured bound, so even a short coordinator freeze
+	// would mass-bury a healthy fleet. A tick arriving 4+ periods late (at
+	// least one detector interval) cannot be scheduler jitter at this
+	// cadence; treat it as a pause. A spurious rebase only delays real
+	// detection by one silence bound, so erring toward rebase is safe.
+	pauseGap := 4 * every
+	if det.Interval > pauseGap {
+		pauseGap = det.Interval
+	}
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
+	last := time.Now()
 	for {
 		select {
 		case <-c.stop:
@@ -244,21 +336,17 @@ func (c *Coordinator) sweepLoop() {
 		case <-ticker.C:
 		}
 		began := time.Now()
+		gap := began.Sub(last)
+		last = began
 		c.mu.Lock()
+		if gap > pauseGap {
+			c.placer.Rebase(c.now())
+			c.mu.Unlock()
+			continue
+		}
 		reps := c.placer.Sweep(c.now())
-		links := make([]live.Transport, len(reps))
-		for i, r := range reps {
-			if !r.Dropped {
-				links[i] = c.players[r.Player]
-			}
-		}
 		c.mu.Unlock()
-		for i, r := range reps {
-			if links[i] != nil {
-				c.pushTicket(links[i], r.Ticket)
-				c.stats.ReplaceNs.Observe(int64(time.Since(began)))
-			}
-		}
+		c.deliver(began, reps)
 	}
 }
 

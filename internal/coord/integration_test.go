@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -20,7 +22,10 @@ const workerConfigEnv = "CLOUDFOG_WORKER_CONFIG"
 
 // TestHelperWorkerProcess is not a test: it is the worker subprocess body,
 // entered only when the driver re-executes the test binary with the config
-// env set. It runs a coordinator-registered worker until it is killed.
+// env set. It runs a coordinator-registered worker until it is killed
+// (SIGKILL, the abrupt-death tests) or SIGTERM'd, in which case it drains —
+// every session handed off make-before-break — and exits 0 only if the
+// supernode emptied before the drain deadline.
 func TestHelperWorkerProcess(t *testing.T) {
 	blob := os.Getenv(workerConfigEnv)
 	if blob == "" {
@@ -37,7 +42,14 @@ func TestHelperWorkerProcess(t *testing.T) {
 		os.Exit(2)
 	}
 	defer w.Close()
-	select {} // hold until killed
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM)
+	<-ch
+	if w.Drain() {
+		os.Exit(0)
+	}
+	fmt.Fprintln(os.Stderr, "worker drain deadline lapsed with sessions attached")
+	os.Exit(1)
 }
 
 // spawnWorker re-executes the test binary as a worker process.

@@ -18,11 +18,16 @@ type Session struct {
 	cfg     live.Config
 	link    live.Transport
 	updates chan proto.Ticket
+	// retargets is the internal twin of updates feeding Run's live-retarget
+	// forwarder, so consuming Updates() externally never races Run.
+	retargets chan proto.Ticket
 
 	mu     sync.Mutex
 	ticket proto.Ticket
 
-	wg sync.WaitGroup
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
 }
 
 // OpenSession places a player (Role RolePlayer with CoordAddr set): it
@@ -76,10 +81,65 @@ func OpenSession(ctx context.Context, cfg live.Config, opts ...live.Option) (*Se
 		link.Close()
 		return nil, fmt.Errorf("coord: ticket signature verification failed")
 	}
-	s := &Session{cfg: cfg, link: link, updates: make(chan proto.Ticket, 8), ticket: t}
+	s := &Session{
+		cfg: cfg, link: link, ticket: t,
+		updates:   make(chan proto.Ticket, 8),
+		retargets: make(chan proto.Ticket, 8),
+		stop:      make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.watch()
+	if t.Expiry > 0 {
+		s.wg.Add(1)
+		go s.renewLoop()
+	}
 	return s, nil
+}
+
+// renewLoop keeps the session's lease alive: a renewal request (a Renew
+// payload riding a TTicket frame player→coordinator) at every lease
+// half-life, with capped-backoff retry when the send fails — the coordinator
+// may be briefly unreachable and the lease grace period absorbs a few missed
+// half-lives. The reply is an ordinary pushed ticket, consumed by watch.
+func (s *Session) renewLoop() {
+	defer s.wg.Done()
+	var backoff time.Duration
+	for {
+		t := s.Ticket()
+		ttl := time.Duration(t.Expiry - t.Issued)
+		if t.Expiry == 0 || ttl <= 0 {
+			return
+		}
+		wait := ttl / 2
+		if backoff > 0 {
+			wait = backoff
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-s.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		rn := proto.Renew{Player: s.cfg.ID, Epoch: s.Ticket().Epoch}
+		if s.link.Send(proto.TTicket, proto.MarshalRenew(rn)) && s.link.Err() == nil {
+			backoff = 0
+			continue
+		}
+		// Retry sooner than the next half-life, doubling up to the
+		// half-life cap.
+		if backoff == 0 {
+			backoff = ttl / 16
+		} else {
+			backoff *= 2
+		}
+		if backoff > ttl/2 {
+			backoff = ttl / 2
+		}
+		if backoff <= 0 {
+			backoff = time.Millisecond
+		}
+	}
 }
 
 // watch forwards pushed re-placement tickets (signature-checked) to Updates
@@ -88,6 +148,7 @@ func OpenSession(ctx context.Context, cfg live.Config, opts ...live.Option) (*Se
 func (s *Session) watch() {
 	defer s.wg.Done()
 	defer close(s.updates)
+	defer close(s.retargets)
 	for {
 		typ, payload, err := s.link.Recv()
 		if err != nil {
@@ -105,17 +166,23 @@ func (s *Session) watch() {
 			s.ticket = t
 		}
 		s.mu.Unlock()
-		for {
+		pushLatest(s.updates, t)
+		pushLatest(s.retargets, t)
+	}
+}
+
+// pushLatest enqueues t, evicting the oldest entry when the channel is full —
+// only the freshest placement matters.
+func pushLatest(ch chan proto.Ticket, t proto.Ticket) {
+	for {
+		select {
+		case ch <- t:
+			return
+		default:
 			select {
-			case s.updates <- t:
+			case <-ch:
 			default:
-				select {
-				case <-s.updates:
-				default:
-				}
-				continue
 			}
-			break
 		}
 	}
 }
@@ -143,24 +210,77 @@ func (s *Session) PlayerConfig() (live.Config, error) {
 	return live.DefaultedPlayer(cfg)
 }
 
-// Run drives the placed player for the given wall-clock duration. Worker
-// churn mid-run is absorbed by the player's own failover ring — the ring is
-// the ticket's backups — while the pushed replacement ticket updates
-// Ticket() for the next attachment.
+// Run drives the placed player for the given wall-clock duration. Sudden
+// worker death is absorbed by the player's own failover ring — the ring is
+// the ticket's backups — while pushed replacement tickets that move the
+// session to a *different* address retarget the running player make-before-
+// break: subscribe to the new worker first, then drop the old stream, a
+// handoff with zero visible interruption. The player carries the session's
+// ticket bytes so lease-enforcing workers can admit it.
 func (s *Session) Run(duration time.Duration, opts ...live.Option) (live.PlayerReport, error) {
 	cfg, err := s.PlayerConfig()
 	if err != nil {
 		return live.PlayerReport{}, err
 	}
+	cur := s.Ticket()
+	retarget := make(chan live.StreamTarget, 1)
+	done := make(chan struct{})
+	var fwg sync.WaitGroup
+	fwg.Add(1)
+	go func() {
+		defer fwg.Done()
+		addr := cur.Addr
+		for {
+			select {
+			case <-done:
+				return
+			case nt, ok := <-s.retargets:
+				if !ok {
+					return
+				}
+				if nt.Addr == "" || nt.Addr == addr {
+					continue // renewal or re-issue in place: no retarget
+				}
+				addr = nt.Addr
+				tgt := live.StreamTarget{
+					Addr:      nt.Addr,
+					Backups:   nt.Backups,
+					Transport: streamName(nt.Transport),
+					Ticket:    proto.MarshalTicket(nt),
+				}
+				for {
+					select {
+					case retarget <- tgt:
+					default:
+						// Full: drop the stale target, keep the freshest.
+						select {
+						case <-retarget:
+						default:
+						}
+						continue
+					}
+					break
+				}
+			}
+		}
+	}()
+	opts = append(append([]live.Option{}, opts...),
+		live.WithTicket(proto.MarshalTicket(cur)), live.WithRetarget(retarget))
 	p, err := live.NewPlayer(cfg, opts...)
 	if err != nil {
+		close(done)
+		fwg.Wait()
 		return live.PlayerReport{}, err
 	}
-	return p.Run(duration)
+	rep, err := p.Run(duration)
+	close(done)
+	fwg.Wait()
+	return rep, err
 }
 
 // Close ends the session; the coordinator records the departure.
 func (s *Session) Close() {
+	s.once.Do(func() { close(s.stop) })
 	s.link.Close()
 	s.wg.Wait()
 }

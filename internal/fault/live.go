@@ -21,6 +21,12 @@ type WallHooks struct {
 	Link func(extra time.Duration, lossFrac float64)
 	// Join starts one flash-crowd player.
 	Join func()
+	// CoordPartition pauses (on) or resumes (off) the coordinator process —
+	// SIGSTOP/SIGCONT in the multi-process harness.
+	CoordPartition func(on bool)
+	// Distress puts worker id into (or out of) self-reported overload
+	// distress, driving the coordinator's proactive drain.
+	Distress func(id int64, on bool)
 }
 
 // RunWall replays a compiled schedule in wall-clock time against the live
@@ -96,6 +102,16 @@ func RunWall(ctx context.Context, sched *Schedule, hooks WallHooks, stats *obs.F
 			if stats != nil {
 				stats.StormJoins.Inc()
 			}
+		case OpCoordDown, OpCoordUp:
+			if hooks.CoordPartition == nil {
+				return
+			}
+			hooks.CoordPartition(ev.Op == OpCoordDown)
+		case OpDistressOn, OpDistressOff:
+			if hooks.Distress == nil {
+				return
+			}
+			hooks.Distress(ev.Node, ev.Op == OpDistressOn)
 		}
 	}
 

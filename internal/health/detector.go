@@ -171,6 +171,15 @@ func (d *Detector) Heartbeat(now time.Duration) {
 	if gap <= 0 {
 		return
 	}
+	// Arrival bursts — a paused receiver draining its queue delivers many
+	// heartbeats almost at once — would collapse the window mean and make
+	// the sender's normal cadence look like death afterward. A gap far below
+	// the configured send interval says nothing about the sender's cadence,
+	// only about delivery batching: re-base the silence clock but keep it
+	// out of the statistics.
+	if gap < d.cfg.Interval/4 {
+		return
+	}
 	gs := gap.Seconds()
 	if len(d.gaps) < cap(d.gaps) {
 		d.gaps = append(d.gaps, gap)

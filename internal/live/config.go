@@ -7,6 +7,7 @@ import (
 	"cloudfog/internal/game"
 	"cloudfog/internal/health"
 	"cloudfog/internal/obs"
+	"cloudfog/internal/proto"
 	"cloudfog/internal/world"
 )
 
@@ -83,6 +84,14 @@ type Config struct {
 	// capacity/occupancy report period to the coordinator.
 	Capacity    int           `json:"capacity,omitempty"`
 	ReportEvery time.Duration `json:"report_every,omitempty"`
+	// SkewTolerance is how much worker/coordinator clock disagreement a
+	// lease-enforcing worker forgives when checking ticket expiry (zero
+	// means DefaultSkewTolerance).
+	SkewTolerance time.Duration `json:"skew_tolerance,omitempty"`
+	// DrainTimeout bounds how long a SIGTERM'd worker waits for the
+	// coordinator to hand its sessions off before exiting anyway (zero
+	// means DefaultDrainTimeout).
+	DrainTimeout time.Duration `json:"drain_timeout,omitempty"`
 
 	// Player fields.
 	GameID          int           `json:"game_id,omitempty"`
@@ -99,6 +108,11 @@ type Config struct {
 	// TicketKey is the shared HMAC key tickets are signed under (empty
 	// disables signing — fine for local smoke runs, not deployments).
 	TicketKey string `json:"ticket_key,omitempty"`
+	// LeaseTTL, when positive, turns tickets into leases: every ticket the
+	// coordinator issues expires LeaseTTL after issue (signed into the HMAC
+	// body), workers reject expired tickets, and players renew at
+	// half-life. Zero disables leases (tickets never expire).
+	LeaseTTL time.Duration `json:"lease_ttl,omitempty"`
 
 	// Detector configures heartbeat failure detection (cloud over supernode
 	// heartbeats, coordinator over worker reports).
@@ -107,6 +121,16 @@ type Config struct {
 	// zero value means health.DefaultOverloadConfig().
 	Overload health.OverloadConfig `json:"overload,omitempty"`
 }
+
+// Worker-side lease and drain defaults, used when the corresponding Config
+// fields are zero.
+const (
+	// DefaultSkewTolerance forgives this much worker/coordinator clock
+	// disagreement on lease-expiry checks.
+	DefaultSkewTolerance = 250 * time.Millisecond
+	// DefaultDrainTimeout bounds a draining worker's wait for handoff.
+	DefaultDrainTimeout = 5 * time.Second
+)
 
 // Validate reports configuration errors for the tagged role.
 func (c Config) Validate() error {
@@ -126,6 +150,10 @@ func (c Config) Validate() error {
 				return fmt.Errorf("live: worker Config.Capacity %d is not positive", c.Capacity)
 			case c.ReportEvery <= 0:
 				return fmt.Errorf("live: worker Config.ReportEvery %v is not positive", c.ReportEvery)
+			case c.SkewTolerance < 0:
+				return fmt.Errorf("live: worker Config.SkewTolerance %v is negative", c.SkewTolerance)
+			case c.DrainTimeout < 0:
+				return fmt.Errorf("live: worker Config.DrainTimeout %v is negative", c.DrainTimeout)
 			}
 		}
 		return nil
@@ -146,6 +174,8 @@ func (c Config) Validate() error {
 			return fmt.Errorf("live: coordinator Config.ShortlistK %d is negative", c.ShortlistK)
 		case c.Backups < 0:
 			return fmt.Errorf("live: coordinator Config.Backups %d is negative", c.Backups)
+		case c.LeaseTTL < 0:
+			return fmt.Errorf("live: coordinator Config.LeaseTTL %v is negative", c.LeaseTTL)
 		}
 		if c.Overload != (health.OverloadConfig{}) {
 			if err := c.Overload.Validate(); err != nil {
@@ -227,6 +257,15 @@ type Options struct {
 	// Occupancy, when non-nil, overrides a worker's reported load (defaults
 	// to the supernode's live session count).
 	Occupancy func() int
+	// JoinGate, when non-nil, vets every player join at a supernode (see
+	// SupernodeConfig.JoinGate) — the hook a lease-enforcing worker uses to
+	// reject expired tickets and refuse new placements in safe mode.
+	JoinGate func(join proto.JoinStream, known bool) uint32
+	// Ticket is a player's encoded session ticket, embedded in its joins.
+	Ticket []byte
+	// Retarget, when non-nil, delivers replacement stream targets to a
+	// running player (coordinator-driven drain handoffs).
+	Retarget <-chan StreamTarget
 }
 
 // Option mutates Options; see With*.
@@ -250,6 +289,19 @@ func WithTransport(t string) Option { return func(o *Options) { o.Transport = t 
 
 // WithOccupancy overrides the load a worker reports to the coordinator.
 func WithOccupancy(f func() int) Option { return func(o *Options) { o.Occupancy = f } }
+
+// WithJoinGate installs a join admission hook at a supernode.
+func WithJoinGate(f func(join proto.JoinStream, known bool) uint32) Option {
+	return func(o *Options) { o.JoinGate = f }
+}
+
+// WithTicket embeds an encoded session ticket in a player's joins.
+func WithTicket(t []byte) Option { return func(o *Options) { o.Ticket = t } }
+
+// WithRetarget wires a replacement-target channel into a player session.
+func WithRetarget(ch <-chan StreamTarget) Option {
+	return func(o *Options) { o.Retarget = ch }
+}
 
 // BuildOptions folds a list of options into one Options value.
 func BuildOptions(opts ...Option) Options {
@@ -302,6 +354,7 @@ func NewSupernode(cfg Config, opts ...Option) (*Supernode, error) {
 	sc := cfg.apply(o).supernodeView()
 	sc.DelayFor = o.DelayFor
 	sc.Obs = o.Obs
+	sc.JoinGate = o.JoinGate
 	return StartSupernode(sc)
 }
 
@@ -321,6 +374,8 @@ func NewPlayer(cfg Config, opts ...Option) (*Player, error) {
 	o := BuildOptions(opts...)
 	pc := cfg.apply(o).playerView()
 	pc.Obs = o.Obs
+	pc.Ticket = o.Ticket
+	pc.Retarget = o.Retarget
 	if err := pc.Validate(); err != nil {
 		return nil, err
 	}

@@ -228,7 +228,7 @@ func (l *linkCore) init(conn net.Conn, opts LinkOptions, dgram bool) {
 func urgentType(t proto.MsgType) bool {
 	switch t {
 	case proto.THeartbeat, proto.TAck, proto.THello,
-		proto.TRegister, proto.TReport, proto.TTicket:
+		proto.TRegister, proto.TReport, proto.TTicket, proto.TSync:
 		return true
 	}
 	return false

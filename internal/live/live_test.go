@@ -212,9 +212,18 @@ func TestSupernodeRejectsBadJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// Unknown game ID: join must be rejected.
+	// Unknown game ID: join must be refused with an explicit ack code and
+	// the connection closed.
 	proto.WriteFrame(conn, proto.TJoinStream, proto.MarshalJoinStream(proto.JoinStream{Player: 1, GameID: 99}))
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	typ, payload, err := proto.ReadFrame(conn)
+	if err != nil || typ != proto.TAck {
+		t.Fatalf("expected refusal ack, got %v %v", typ, err)
+	}
+	ack, err := proto.UnmarshalAck(payload)
+	if err != nil || ack.Code != proto.AckRefused {
+		t.Fatalf("expected AckRefused, got %+v %v", ack, err)
+	}
 	var buf [1]byte
 	if _, err := conn.Read(buf[:]); err == nil {
 		t.Fatal("supernode kept a join with an unknown game")

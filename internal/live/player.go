@@ -57,6 +57,26 @@ type PlayerConfig struct {
 	// Obs, when non-nil, registers the player's action-link metrics
 	// (cloudfog_link_*{link="p<ID>_to_cloud"}).
 	Obs *obs.Registry
+	// Ticket carries the player's encoded session ticket; when non-empty it
+	// rides inside every join so lease-enforcing workers can verify the
+	// placement and its expiry.
+	Ticket []byte
+	// Retarget, when non-nil, delivers replacement stream targets mid-run
+	// (a coordinator draining the serving worker pushes one). The player
+	// performs a make-before-break handoff: subscribe to the new target
+	// first, then drop the old stream — zero interruptions, counted as a
+	// Handoff rather than a Failover.
+	Retarget <-chan StreamTarget
+}
+
+// StreamTarget names a replacement stream destination pushed mid-session:
+// the new serving address, its failover ring, the stream transport, and the
+// re-signed ticket that authorizes the player there.
+type StreamTarget struct {
+	Addr      string
+	Backups   []string
+	Transport string
+	Ticket    []byte
 }
 
 // Validate reports configuration errors.
@@ -90,8 +110,12 @@ type PlayerReport struct {
 	Actions      int64
 	MeanResponse time.Duration
 	P95Response  time.Duration
-	// Failovers counts mid-run stream reattachments to a backup supernode.
+	// Failovers counts mid-run stream reattachments to a backup supernode
+	// after the serving stream died — each one is a visible interruption.
 	Failovers int64
+	// Handoffs counts make-before-break retargets (coordinator-driven
+	// drains): the player swapped streams without losing a frame.
+	Handoffs int64
 	// CloudFallback reports that the player ended up streaming directly
 	// from the cloud after every supernode in its ring refused.
 	CloudFallback bool
@@ -150,16 +174,18 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		GameID: int32(cfg.GameID),
 		ViewX:  5000, ViewY: 5000, ViewR: cfg.ViewRadius,
 		LevelCap: uint8(g.StartLevel),
+		Ticket:   cfg.Ticket,
 	}
 	addrs := append([]string{cfg.StreamAddr}, cfg.BackupAddrs...)
-	// The join frame is encoded once: the TCP path writes it as the
-	// connection's first frame, the datagram path re-sends the identical
-	// bytes as its keepalive beacon.
+	// The join frame is encoded once per ticket: the TCP path writes it as
+	// the connection's first frame, the datagram path re-sends the identical
+	// bytes as its keepalive beacon; a retarget re-encodes it with the
+	// replacement ticket.
 	joinFrame := proto.AppendFrame(nil, proto.TJoinStream, proto.MarshalJoinStream(join))
 	dgramMode := cfg.Transport == TransportUDP
-	subscribe := func(addr string, timeout time.Duration, dgram bool) (net.Conn, error) {
+	subscribe := func(addr string, timeout time.Duration, dgram bool, frame []byte) (net.Conn, error) {
 		if dgram {
-			return subscribeDatagram(addr, joinFrame, timeout)
+			return subscribeDatagram(addr, frame, timeout)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		conn, err := dialBackoff(ctx, addr, cfg.ID)
@@ -167,14 +193,19 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := conn.Write(joinFrame); err != nil {
+		if _, err := conn.Write(frame); err != nil {
 			conn.Close()
 			return nil, err
 		}
 		conn.SetReadDeadline(time.Now().Add(dialDeadline))
-		if typ, _, err := proto.ReadFrame(conn); err != nil || typ != proto.TAck {
+		typ, payload, err := proto.ReadFrame(conn)
+		if err != nil || typ != proto.TAck {
 			conn.Close()
 			return nil, fmt.Errorf("live: supernode %s rejected join: %v", addr, err)
+		}
+		if ack, aerr := proto.UnmarshalAck(payload); aerr == nil && ack.Code != proto.AckOK {
+			conn.Close()
+			return nil, fmt.Errorf("live: supernode %s refused join (code %d)", addr, ack.Code)
 		}
 		return conn, nil
 	}
@@ -191,7 +222,7 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	var strConn net.Conn
 	strDgram := false
 	for i := range addrs {
-		conn, serr := subscribe(addrs[i], dialDeadline, dgramMode)
+		conn, serr := subscribe(addrs[i], dialDeadline, dgramMode, joinFrame)
 		if serr == nil {
 			strConn, addrIdx, strDgram = conn, i, dgramMode
 			break
@@ -203,7 +234,7 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	if strConn == nil {
 		// Every supernode refused before the session even began: stream
 		// straight from the cloud as the last resort (always TCP).
-		conn, cerr := subscribe(cfg.CloudAddr, dialDeadline, false)
+		conn, cerr := subscribe(cfg.CloudAddr, dialDeadline, false, joinFrame)
 		if cerr != nil {
 			report.FailoverErrors = append(report.FailoverErrors,
 				fmt.Sprintf("%s (cloud): %v", cfg.CloudAddr, cerr))
@@ -262,6 +293,48 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 	lastRecv := time.Now()
 	lastKA := time.Now()
 	for time.Now().Before(deadline) {
+		if cfg.Retarget != nil {
+			select {
+			case tgt, ok := <-cfg.Retarget:
+				if !ok {
+					cfg.Retarget = nil
+					break
+				}
+				// Make-before-break: subscribe to the replacement worker
+				// first; only a successful join drops the old stream, so a
+				// failed retarget costs nothing.
+				newDgram := dgramMode
+				if tgt.Transport != "" {
+					newDgram = tgt.Transport == TransportUDP
+				}
+				njoin := join
+				njoin.Ticket = tgt.Ticket
+				nframe := proto.AppendFrame(nil, proto.TJoinStream, proto.MarshalJoinStream(njoin))
+				conn, serr := subscribe(tgt.Addr, failoverDialDeadline, newDgram, nframe)
+				if serr != nil {
+					mu.Lock()
+					report.FailoverErrors = append(report.FailoverErrors,
+						fmt.Sprintf("%s (retarget): %v", tgt.Addr, serr))
+					mu.Unlock()
+					break
+				}
+				old := strConn
+				strConn, strDgram, dgramMode = conn, newDgram, newDgram
+				joinFrame = nframe
+				addrs = append([]string{tgt.Addr}, tgt.Backups...)
+				addrIdx = 0
+				if !strDgram {
+					strConn.SetReadDeadline(deadline.Add(2 * time.Second))
+				}
+				lastRecv = time.Now()
+				lastKA = lastRecv
+				old.Close()
+				mu.Lock()
+				report.Handoffs++
+				mu.Unlock()
+			default:
+			}
+		}
 		if strDgram {
 			strConn.SetReadDeadline(time.Now().Add(udpKeepaliveEvery))
 		}
@@ -288,7 +361,7 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 					break
 				}
 				cand := addrs[(addrIdx+i)%len(addrs)]
-				conn, serr := subscribe(cand, failoverDialDeadline, dgramMode)
+				conn, serr := subscribe(cand, failoverDialDeadline, dgramMode, joinFrame)
 				if serr != nil {
 					mu.Lock()
 					report.FailoverErrors = append(report.FailoverErrors,
@@ -302,7 +375,7 @@ func RunPlayer(cfg PlayerConfig, duration time.Duration) (PlayerReport, error) {
 			}
 			if next == nil && time.Now().Before(deadline) {
 				// Whole ring down: stream straight from the cloud.
-				conn, cerr := subscribe(cfg.CloudAddr, dialDeadline, false)
+				conn, cerr := subscribe(cfg.CloudAddr, dialDeadline, false, joinFrame)
 				if cerr != nil {
 					mu.Lock()
 					report.FailoverErrors = append(report.FailoverErrors,

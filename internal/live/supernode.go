@@ -72,6 +72,13 @@ type SupernodeConfig struct {
 	// Obs, when non-nil, registers the cloud-update link and each player
 	// stream link (cloudfog_link_*{link="sn<ID>_to_p<player>"}).
 	Obs *obs.Registry
+	// JoinGate, when non-nil, vets every join — the initial subscription
+	// and every datagram keepalive re-join — and returns an Ack code:
+	// proto.AckOK admits, anything else refuses the join and the code is
+	// reported to the player. known is true when the player already has a
+	// live stream here (a lease-enforcing worker in partition safe mode
+	// keeps serving known players but refuses new placements).
+	JoinGate func(join proto.JoinStream, known bool) uint32
 }
 
 // Validate reports configuration errors.
@@ -126,6 +133,27 @@ func (sn *Supernode) SessionCount() int {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
 	return len(sn.players)
+}
+
+// SessionIDs returns the IDs of the players with live streams — the ground
+// truth a re-registering worker reports so a reconnecting coordinator can
+// reconcile its ledger.
+func (sn *Supernode) SessionIDs() []int64 {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	ids := make([]int64, 0, len(sn.players))
+	for pid := range sn.players {
+		ids = append(ids, pid)
+	}
+	return ids
+}
+
+// hasPlayer reports whether the player currently has a live stream.
+func (sn *Supernode) hasPlayer(pid int64) bool {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	_, ok := sn.players[pid]
+	return ok
 }
 
 type playerStream struct {
@@ -334,8 +362,14 @@ func (sn *Supernode) joinDatagram(raddr *net.UDPAddr, payload []byte) {
 	g, err := game.ByID(int(join.GameID))
 	if err != nil {
 		// Reject without setting up a stream.
-		sn.udp.WriteToUDP(proto.AppendFrame(nil, proto.TAck, proto.MarshalAck(proto.Ack{Code: 1})), raddr)
+		sn.udp.WriteToUDP(proto.AppendFrame(nil, proto.TAck, proto.MarshalAck(proto.Ack{Code: proto.AckRefused})), raddr)
 		return
+	}
+	if gate := sn.cfg.JoinGate; gate != nil {
+		if code := gate(join, sn.hasPlayer(join.Player)); code != proto.AckOK {
+			sn.udp.WriteToUDP(proto.AppendFrame(nil, proto.TAck, proto.MarshalAck(proto.Ack{Code: code})), raddr)
+			return
+		}
 	}
 	addr := raddr.String()
 	now := time.Now()
@@ -390,8 +424,16 @@ func (sn *Supernode) servePlayer(conn net.Conn) {
 	}
 	g, err := game.ByID(int(join.GameID))
 	if err != nil {
+		proto.WriteFrame(conn, proto.TAck, proto.MarshalAck(proto.Ack{Code: proto.AckRefused}))
 		conn.Close()
 		return
+	}
+	if gate := sn.cfg.JoinGate; gate != nil {
+		if code := gate(join, sn.hasPlayer(join.Player)); code != proto.AckOK {
+			proto.WriteFrame(conn, proto.TAck, proto.MarshalAck(proto.Ack{Code: code}))
+			conn.Close()
+			return
+		}
 	}
 	var delay time.Duration
 	if sn.cfg.DelayFor != nil {

@@ -22,6 +22,17 @@ type CoordStats struct {
 	WorkersReturned   *Counter // dead workers re-registered
 	ReportsReceived   *Counter // worker capacity/occupancy reports consumed
 
+	DrainWorkers  *Counter // distressed-worker drain episodes started
+	DrainSessions *Counter // sessions moved off distressed workers
+	DrainStranded *Counter // drain candidates with no admissible target
+
+	LeaseIssued  *Counter // tickets issued with a lease expiry
+	LeaseRenewed *Counter // lease renewals granted
+	LeaseExpired *Counter // sessions retired because their lease lapsed
+
+	Rebases    *Counter // coordinator pause recoveries (detectors rebased)
+	Reconciled *Counter // sessions realigned against worker-reported truth
+
 	PlacementNs *Histogram // per-placement decision latency
 	ReplaceNs   *Histogram // worker death to last session re-placed
 
@@ -40,6 +51,14 @@ func NewCoordStats() *CoordStats {
 		WorkersLost:       new(Counter),
 		WorkersReturned:   new(Counter),
 		ReportsReceived:   new(Counter),
+		DrainWorkers:      new(Counter),
+		DrainSessions:     new(Counter),
+		DrainStranded:     new(Counter),
+		LeaseIssued:       new(Counter),
+		LeaseRenewed:      new(Counter),
+		LeaseExpired:      new(Counter),
+		Rebases:           new(Counter),
+		Reconciled:        new(Counter),
 		PlacementNs:       NewHistogram(LatencyBucketsNs()),
 		ReplaceNs:         NewHistogram(LatencyBucketsNs()),
 	}
@@ -57,6 +76,14 @@ func CoordStatsIn(r *Registry) *CoordStats {
 		WorkersLost:       r.Counter("cloudfog_coord_workers_lost_total", "workers declared dead by the detector"),
 		WorkersReturned:   r.Counter("cloudfog_coord_workers_returned_total", "dead workers re-registered"),
 		ReportsReceived:   r.Counter("cloudfog_coord_reports_total", "worker capacity/occupancy reports consumed"),
+		DrainWorkers:      r.Counter("cloudfog_coord_drain_workers_total", "distressed-worker drain episodes started"),
+		DrainSessions:     r.Counter("cloudfog_coord_drain_sessions_total", "sessions moved off distressed workers"),
+		DrainStranded:     r.Counter("cloudfog_coord_drain_stranded_total", "drain candidates with no admissible target"),
+		LeaseIssued:       r.Counter("cloudfog_coord_lease_issued_total", "tickets issued with a lease expiry"),
+		LeaseRenewed:      r.Counter("cloudfog_coord_lease_renewed_total", "lease renewals granted"),
+		LeaseExpired:      r.Counter("cloudfog_coord_lease_expired_total", "sessions retired on lease expiry"),
+		Rebases:           r.Counter("cloudfog_coord_rebases_total", "coordinator pause recoveries (detectors rebased)"),
+		Reconciled:        r.Counter("cloudfog_coord_reconciled_total", "sessions realigned against worker-reported truth"),
 		PlacementNs:       r.Histogram("cloudfog_coord_placement_ns", "per-placement decision latency", LatencyBucketsNs()),
 		ReplaceNs:         r.Histogram("cloudfog_coord_replace_ns", "worker death to session re-placement", LatencyBucketsNs()),
 	}

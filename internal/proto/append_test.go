@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -37,7 +38,8 @@ func TestAppendMatchesMarshal(t *testing.T) {
 	s := Segment{Player: 1, Seq: 2, Level: 3, ActionIssued: time.Second, Payload: []byte("pay")}
 	check("segment", AppendSegment(append([]byte(nil), prefix...), s), MarshalSegment(s))
 
-	j := JoinStream{Player: 5, GameID: 2, ViewX: 10, ViewY: 20, ViewR: 30, LevelCap: 4}
+	j := JoinStream{Player: 5, GameID: 2, ViewX: 10, ViewY: 20, ViewR: 30, LevelCap: 4,
+		Ticket: []byte("ticket-bytes")}
 	check("join", AppendJoinStream(append([]byte(nil), prefix...), j), MarshalJoinStream(j))
 
 	h := Hello{Role: RolePlayerActions, ID: 77}
@@ -49,34 +51,58 @@ func TestAppendMatchesMarshal(t *testing.T) {
 	check("ack", AppendAck(append([]byte(nil), prefix...), Ack{Code: 6}), MarshalAck(Ack{Code: 6}))
 
 	reg := Register{Worker: 1_000_007, Capacity: 16, Load: 3, X: 120.5, Y: -88.25,
-		Transport: StreamUDP, Addr: "127.0.0.1:4321"}
+		Transport: StreamUDP, Addr: "127.0.0.1:4321", Sessions: []int64{7, 8, 9}}
 	check("register", AppendRegister(append([]byte(nil), prefix...), reg), MarshalRegister(reg))
 
-	rep := Report{Worker: 1_000_007, Seq: 99, Load: 7, Capacity: 16}
+	rep := Report{Worker: 1_000_007, Seq: 99, Load: 7, Capacity: 16, Level: 2, Draining: 1}
 	check("report", AppendReport(append([]byte(nil), prefix...), rep), MarshalReport(rep))
 
 	pl := Place{Player: 42, GameID: 4, X: 5000, Y: 4000}
 	check("place", AppendPlace(append([]byte(nil), prefix...), pl), MarshalPlace(pl))
 
-	tk := Ticket{Player: 42, Worker: 1_000_007, Epoch: 12, Issued: 34567,
+	tk := Ticket{Player: 42, Worker: 1_000_007, Epoch: 12, Issued: 34567, Expiry: 94567,
 		Transport: StreamTCP, Addr: "127.0.0.1:4321",
 		Backups: []string{"127.0.0.1:4322", "127.0.0.1:4323"}, Sig: []byte("0123456789abcdef")}
 	check("ticket", AppendTicket(append([]byte(nil), prefix...), tk), MarshalTicket(tk))
+
+	rn := Renew{Player: 42, Epoch: 12}
+	check("renew", AppendRenew(append([]byte(nil), prefix...), rn), MarshalRenew(rn))
+
+	sy := Sync{Now: 123_456, LeaseTTL: 2_000_000_000}
+	check("sync", AppendSync(append([]byte(nil), prefix...), sy), MarshalSync(sy))
 }
 
 // TestCoordRoundTrips pins encode→decode identity for the coordinator
 // control-plane messages, including the empty-ring and unsigned ticket edge
 // cases.
 func TestCoordRoundTrips(t *testing.T) {
-	reg := Register{Worker: 5, Capacity: 8, Load: 1, X: 1.5, Y: 2.5, Transport: StreamTCP, Addr: "host:1"}
+	reg := Register{Worker: 5, Capacity: 8, Load: 1, X: 1.5, Y: 2.5, Transport: StreamTCP,
+		Addr: "host:1", Sessions: []int64{11, 12}}
 	gotReg, err := UnmarshalRegister(MarshalRegister(reg))
-	if err != nil || gotReg != reg {
+	if err != nil || !reflect.DeepEqual(gotReg, reg) {
 		t.Fatalf("register round trip: %+v %v", gotReg, err)
 	}
-	rep := Report{Worker: 5, Seq: 3, Load: 2, Capacity: 8}
+	// A sessionless registration (the common first-connect case) must stay
+	// nil through the round trip, not decode as an empty slice.
+	bare := Register{Worker: 6, Capacity: 4, Addr: "host:2"}
+	gotBare, err := UnmarshalRegister(MarshalRegister(bare))
+	if err != nil || !reflect.DeepEqual(gotBare, bare) {
+		t.Fatalf("bare register round trip: %+v %v", gotBare, err)
+	}
+	rep := Report{Worker: 5, Seq: 3, Load: 2, Capacity: 8, Level: 3, Draining: 1}
 	gotRep, err := UnmarshalReport(MarshalReport(rep))
 	if err != nil || gotRep != rep {
 		t.Fatalf("report round trip: %+v %v", gotRep, err)
+	}
+	rn := Renew{Player: 9, Epoch: 4}
+	gotRn, err := UnmarshalRenew(MarshalRenew(rn))
+	if err != nil || gotRn != rn {
+		t.Fatalf("renew round trip: %+v %v", gotRn, err)
+	}
+	sy := Sync{Now: 55, LeaseTTL: 66}
+	gotSy, err := UnmarshalSync(MarshalSync(sy))
+	if err != nil || gotSy != sy {
+		t.Fatalf("sync round trip: %+v %v", gotSy, err)
 	}
 	pl := Place{Player: 9, GameID: 3, X: -4, Y: 4}
 	gotPl, err := UnmarshalPlace(MarshalPlace(pl))
@@ -84,16 +110,17 @@ func TestCoordRoundTrips(t *testing.T) {
 		t.Fatalf("place round trip: %+v %v", gotPl, err)
 	}
 	for _, tk := range []Ticket{
-		{Player: 9, Worker: 5, Epoch: 1, Issued: 77, Transport: StreamUDP,
+		{Player: 9, Worker: 5, Epoch: 1, Issued: 77, Expiry: 177, Transport: StreamUDP,
 			Addr: "host:1", Backups: []string{"host:2", "host:3"}, Sig: []byte("sig")},
-		{Player: 9, Epoch: 2, Addr: "cloud:1"}, // cloud-direct, unsigned, no ring
+		{Player: 9, Epoch: 2, Addr: "cloud:1"}, // cloud-direct, unsigned, no ring, no lease
 	} {
 		got, err := UnmarshalTicket(MarshalTicket(tk))
 		if err != nil {
 			t.Fatalf("ticket round trip: %v", err)
 		}
 		if got.Player != tk.Player || got.Worker != tk.Worker || got.Epoch != tk.Epoch ||
-			got.Issued != tk.Issued || got.Transport != tk.Transport || got.Addr != tk.Addr ||
+			got.Issued != tk.Issued || got.Expiry != tk.Expiry ||
+			got.Transport != tk.Transport || got.Addr != tk.Addr ||
 			len(got.Backups) != len(tk.Backups) || !bytes.Equal(got.Sig, tk.Sig) {
 			t.Fatalf("ticket round trip mismatch: %+v vs %+v", got, tk)
 		}

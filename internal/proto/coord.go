@@ -28,6 +28,26 @@ func appendStr(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
+// appendBytes writes a u16 length prefix plus the raw bytes — the byte-slice
+// twin of appendStr.
+func appendBytes(dst, p []byte) []byte {
+	if len(p) > maxStr {
+		p = p[:maxStr]
+	}
+	dst = append(dst, byte(len(p)>>8), byte(len(p)))
+	return append(dst, p...)
+}
+
+// rbytes reads a u16-length-prefixed byte slice (nil when empty). The result
+// is freshly allocated and owned by the caller.
+func (b *buffer) rbytes() []byte {
+	s := b.rstr()
+	if s == "" {
+		return nil
+	}
+	return []byte(s)
+}
+
 // rstr reads a u16-length-prefixed string.
 func (b *buffer) rstr() string {
 	if !b.need(2) {
@@ -61,6 +81,11 @@ type Register struct {
 	Transport uint8
 	// Addr is the worker's player-facing stream address.
 	Addr string
+	// Sessions lists the players the worker is currently serving. Empty on
+	// a first registration; on a re-registration after a coordinator
+	// partition it is the worker's ground truth, and the coordinator
+	// reconciles its ledger against it instead of trusting stale state.
+	Sessions []int64
 }
 
 // MarshalRegister encodes a worker registration.
@@ -75,7 +100,12 @@ func AppendRegister(dst []byte, r Register) []byte {
 	dst = appendF64(dst, r.X)
 	dst = appendF64(dst, r.Y)
 	dst = appendU8(dst, r.Transport)
-	return appendStr(dst, r.Addr)
+	dst = appendStr(dst, r.Addr)
+	dst = appendU32(dst, uint32(len(r.Sessions)))
+	for _, s := range r.Sessions {
+		dst = appendI64(dst, s)
+	}
+	return dst
 }
 
 // UnmarshalRegister decodes a worker registration.
@@ -89,6 +119,19 @@ func UnmarshalRegister(p []byte) (Register, error) {
 	r.Y = b.rf64()
 	r.Transport = b.ru8()
 	r.Addr = b.rstr()
+	n := int(b.ru32())
+	if b.err != nil {
+		return r, b.err
+	}
+	if n*8 > len(p) {
+		return r, fmt.Errorf("proto: register session count exceeds payload")
+	}
+	if n > 0 {
+		r.Sessions = make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			r.Sessions = append(r.Sessions, b.ri64())
+		}
+	}
 	return r, b.finish()
 }
 
@@ -100,6 +143,14 @@ type Report struct {
 	Seq      uint64
 	Load     int32
 	Capacity int32
+	// Level is the worker's local overload-ladder state
+	// (health.OverloadState: 0 Normal … 4 Migrating). The coordinator
+	// starts a proactive drain at Shedding or above instead of waiting for
+	// the worker to die.
+	Level uint8
+	// Draining is nonzero when the worker wants every session moved off it
+	// (a SIGTERM'd worker handing off before exit).
+	Draining uint8
 }
 
 // MarshalReport encodes a worker report.
@@ -111,7 +162,9 @@ func AppendReport(dst []byte, r Report) []byte {
 	dst = appendI64(dst, r.Worker)
 	dst = appendU64(dst, r.Seq)
 	dst = appendU32(dst, uint32(r.Load))
-	return appendU32(dst, uint32(r.Capacity))
+	dst = appendU32(dst, uint32(r.Capacity))
+	dst = appendU8(dst, r.Level)
+	return appendU8(dst, r.Draining)
 }
 
 // UnmarshalReport decodes a worker report.
@@ -122,6 +175,8 @@ func UnmarshalReport(p []byte) (Report, error) {
 	r.Seq = b.ru64()
 	r.Load = int32(b.ru32())
 	r.Capacity = int32(b.ru32())
+	r.Level = b.ru8()
+	r.Draining = b.ru8()
 	return r, b.finish()
 }
 
@@ -168,6 +223,11 @@ type Ticket struct {
 	Epoch  uint64
 	// Issued is the coordinator's clock at issue time (offset nanoseconds).
 	Issued int64
+	// Expiry is the lease deadline on the coordinator's clock (offset
+	// nanoseconds): the ticket is valid while now < Expiry. Zero means the
+	// ticket never expires (deployments without leases). Signed into the
+	// HMAC body so a player cannot stretch its own lease.
+	Expiry int64
 	// Transport echoes the worker's stream transport (StreamTCP/StreamUDP).
 	Transport uint8
 	// Addr is the serving stream address; Backups is the failover ring, in
@@ -197,6 +257,7 @@ func AppendTicketBody(dst []byte, t Ticket) []byte {
 	dst = appendI64(dst, t.Worker)
 	dst = appendU64(dst, t.Epoch)
 	dst = appendI64(dst, t.Issued)
+	dst = appendI64(dst, t.Expiry)
 	dst = appendU8(dst, t.Transport)
 	dst = appendStr(dst, t.Addr)
 	dst = appendU32(dst, uint32(len(t.Backups)))
@@ -214,6 +275,7 @@ func UnmarshalTicket(p []byte) (Ticket, error) {
 	t.Worker = b.ri64()
 	t.Epoch = b.ru64()
 	t.Issued = b.ri64()
+	t.Expiry = b.ri64()
 	t.Transport = b.ru8()
 	t.Addr = b.rstr()
 	n := int(b.ru32())
@@ -234,4 +296,61 @@ func UnmarshalTicket(p []byte) (Ticket, error) {
 		t.Sig = []byte(sig)
 	}
 	return t, b.finish()
+}
+
+// Renew asks the coordinator to extend a player's lease. It rides a TTicket
+// frame on the player→coordinator direction (the reply is an ordinary pushed
+// ticket). Epoch names the lease being renewed so the coordinator can tell a
+// renewal racing a replacement ticket from a renewal of the current lease —
+// the freshest epoch always wins.
+type Renew struct {
+	Player int64
+	Epoch  uint64
+}
+
+// MarshalRenew encodes a lease renewal request.
+func MarshalRenew(r Renew) []byte { return AppendRenew(nil, r) }
+
+// AppendRenew marshals a lease renewal request into dst and returns the
+// extended slice — the allocation-free form of MarshalRenew.
+func AppendRenew(dst []byte, r Renew) []byte {
+	dst = appendI64(dst, r.Player)
+	return appendU64(dst, r.Epoch)
+}
+
+// UnmarshalRenew decodes a lease renewal request.
+func UnmarshalRenew(p []byte) (Renew, error) {
+	b := buffer{b: p}
+	r := Renew{Player: b.ri64(), Epoch: b.ru64()}
+	return r, b.finish()
+}
+
+// Sync is the coordinator's downstream beacon to a worker, sent in reply to
+// every TRegister and TReport. Workers feed the arrival gaps to a phi
+// detector on coordinator silence (entering safe mode when it fires) and use
+// Now to estimate clock skew against the coordinator, so lease-expiry checks
+// at the worker tolerate drifting clocks.
+type Sync struct {
+	// Now is the coordinator's clock (offset nanoseconds since its start).
+	Now int64
+	// LeaseTTL is the deployment's ticket lease duration in nanoseconds;
+	// zero disables lease enforcement at the worker.
+	LeaseTTL int64
+}
+
+// MarshalSync encodes a coordinator sync beacon.
+func MarshalSync(s Sync) []byte { return AppendSync(nil, s) }
+
+// AppendSync marshals a coordinator sync beacon into dst and returns the
+// extended slice — the allocation-free form of MarshalSync.
+func AppendSync(dst []byte, s Sync) []byte {
+	dst = appendI64(dst, s.Now)
+	return appendI64(dst, s.LeaseTTL)
+}
+
+// UnmarshalSync decodes a coordinator sync beacon.
+func UnmarshalSync(p []byte) (Sync, error) {
+	b := buffer{b: p}
+	s := Sync{Now: b.ri64(), LeaseTTL: b.ri64()}
+	return s, b.finish()
 }

@@ -98,8 +98,13 @@ func FuzzAppendMatchesMarshal(f *testing.F) {
 		check("delta", AppendDelta(pfx(), d), MarshalDelta(d))
 
 		j := JoinStream{Player: player, GameID: int32(level % 8), ViewX: float64(seq),
-			ViewY: float64(issued), ViewR: 100, LevelCap: level}
+			ViewY: float64(issued), ViewR: 100, LevelCap: level, Ticket: payload}
 		check("join", AppendJoinStream(pfx(), j), MarshalJoinStream(j))
+
+		check("renew", AppendRenew(pfx(), Renew{Player: player, Epoch: uint64(seq)}),
+			MarshalRenew(Renew{Player: player, Epoch: uint64(seq)}))
+		check("sync", AppendSync(pfx(), Sync{Now: issued, LeaseTTL: seq}),
+			MarshalSync(Sync{Now: issued, LeaseTTL: seq}))
 
 		check("hello", AppendHello(pfx(), Hello{Role: Role(level), ID: player}),
 			MarshalHello(Hello{Role: Role(level), ID: player}))

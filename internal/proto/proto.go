@@ -51,8 +51,14 @@ const (
 	// TPlace asks the coordinator to place a joining player.
 	TPlace
 	// TTicket is the coordinator's signed placement answer: the serving
-	// worker's address plus the backup ring.
+	// worker's address plus the backup ring. On the player→coordinator
+	// direction the same frame type carries a Renew payload (a lease
+	// renewal request).
 	TTicket
+	// TSync is the coordinator's downstream beacon to workers: its clock
+	// and the lease TTL. Workers time the gaps to detect coordinator
+	// silence and use the clock to bound ticket-expiry skew.
+	TSync
 )
 
 // MaxFrame bounds frame payloads (16 MiB) against corrupt length headers.
@@ -460,6 +466,10 @@ type JoinStream struct {
 	ViewY    float64
 	ViewR    float64
 	LevelCap uint8
+	// Ticket carries the player's encoded session ticket (MarshalTicket
+	// bytes) so lease-enforcing workers can verify the placement and its
+	// expiry; empty on deployments without leases.
+	Ticket []byte
 }
 
 // MarshalJoinStream encodes a stream subscription.
@@ -473,7 +483,8 @@ func AppendJoinStream(dst []byte, j JoinStream) []byte {
 	dst = appendF64(dst, j.ViewX)
 	dst = appendF64(dst, j.ViewY)
 	dst = appendF64(dst, j.ViewR)
-	return appendU8(dst, j.LevelCap)
+	dst = appendU8(dst, j.LevelCap)
+	return appendBytes(dst, j.Ticket)
 }
 
 // UnmarshalJoinStream decodes a stream subscription.
@@ -486,6 +497,7 @@ func UnmarshalJoinStream(p []byte) (JoinStream, error) {
 	j.ViewY = b.rf64()
 	j.ViewR = b.rf64()
 	j.LevelCap = b.ru8()
+	j.Ticket = b.rbytes()
 	return j, b.finish()
 }
 
@@ -546,9 +558,26 @@ func UnmarshalHeartbeat(p []byte) (Heartbeat, error) {
 	return h, b.finish()
 }
 
+// Ack codes: 0 is success, everything else names a refusal. Workers use the
+// lease codes so a rejected player knows whether to renew (expired) or to
+// fall back through its ring (refused / safe mode).
+const (
+	// AckOK accepts the request.
+	AckOK uint32 = 0
+	// AckRefused rejects a request the receiver will not serve (bad first
+	// frame, unknown player, forged ticket).
+	AckRefused uint32 = 1
+	// AckExpired rejects a join whose ticket lease has lapsed; the player
+	// should renew with the coordinator and retry.
+	AckExpired uint32 = 2
+	// AckSafeMode rejects a new placement at a worker that has lost the
+	// coordinator and is serving only its existing leases.
+	AckSafeMode uint32 = 3
+)
+
 // Ack acknowledges a request.
 type Ack struct {
-	Code uint32 // 0 = OK
+	Code uint32 // 0 = OK, see Ack* codes
 }
 
 // MarshalAck encodes an acknowledgement.

@@ -3,6 +3,7 @@ package proto
 import (
 	"bytes"
 	"io"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -199,10 +200,14 @@ func TestSegmentRejectsLyingLength(t *testing.T) {
 }
 
 func TestJoinStreamRoundTrip(t *testing.T) {
-	j := JoinStream{Player: 12, GameID: 4, ViewX: 1000, ViewY: 2000, ViewR: 400, LevelCap: 5}
-	got, err := UnmarshalJoinStream(MarshalJoinStream(j))
-	if err != nil || got != j {
-		t.Fatalf("join round trip: %+v %v", got, err)
+	for _, j := range []JoinStream{
+		{Player: 12, GameID: 4, ViewX: 1000, ViewY: 2000, ViewR: 400, LevelCap: 5},
+		{Player: 12, GameID: 4, LevelCap: 5, Ticket: []byte("signed-ticket")},
+	} {
+		got, err := UnmarshalJoinStream(MarshalJoinStream(j))
+		if err != nil || !reflect.DeepEqual(got, j) {
+			t.Fatalf("join round trip: %+v %v", got, err)
+		}
 	}
 }
 
@@ -266,6 +271,11 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		UnmarshalJoinStream(p)
 		UnmarshalAck(p)
 		UnmarshalHello(p)
+		UnmarshalRegister(p)
+		UnmarshalReport(p)
+		UnmarshalTicket(p)
+		UnmarshalRenew(p)
+		UnmarshalSync(p)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
